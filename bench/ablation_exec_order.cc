@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Discussion (Section VI) ablation: subwarp execution order. In a warp
+ * whose divergence produces one load-heavy and one compute-only
+ * subwarp, SI only helps when the load-heavy side executes first; the
+ * paper proposes randomizing the order to improve the odds.
+ *
+ * Two experiments:
+ *   1. A skewed two-sided kernel, run under both static orders and the
+ *      randomized policy.
+ *   2. The full application suite under all four DivergeOrder
+ *      policies, including the paper's proposed software stall hints
+ *      (implemented in isa/stall_hints.hh).
+ */
+
+#include "bench_common.hh"
+
+#include "isa/assembler.hh"
+#include "isa/stall_hints.hh"
+
+namespace {
+
+// One side of the branch has three dependent load-to-use stall rounds;
+// the other is pure math. Only if the load side runs first can SI hide
+// its stalls behind the math side.
+const char *skewed = R"(
+.kernel skewed_order
+.regs 48
+    S2R R0, LANEID
+    S2R R1, TID
+    SHL R2, R1, 8
+    MOV R3, 0x20000000
+    IADD R2, R2, R3          ; per-thread compulsory-miss addresses
+    ISETP.LT P0, R0, 16
+    BSSY B0, join
+    @P0 BRA mathSide
+; loadSide: three sequential exposed load-to-use stalls
+    LDG R4, [R2+0] &wr=sb0
+    FADD R10, R10, R4 &req=sb0
+    LDG R5, [R2+128] &wr=sb0
+    FADD R10, R10, R5 &req=sb0
+    LDG R6, [R2+256] &wr=sb0
+    FADD R10, R10, R6 &req=sb0
+    BRA join
+mathSide:
+    MOV R11, 1.0
+    FMUL R12, R11, 2.0
+    FFMA R11, R12, R11, R12
+    FFMA R12, R11, R12, R11
+    FFMA R11, R12, R11, R12
+    FFMA R12, R11, R12, R11
+    FFMA R11, R12, R11, R12
+    FFMA R12, R11, R12, R11
+    FFMA R11, R12, R11, R12
+    FFMA R12, R11, R12, R11
+    FFMA R11, R12, R11, R12
+    FFMA R12, R11, R12, R11
+    FFMA R11, R12, R11, R12
+    BRA join
+join:
+    BSYNC B0
+    EXIT
+)";
+
+double
+runSkewed(si::DivergeOrder order, bool si_on)
+{
+    si::GpuConfig cfg = si::baselineConfig();
+    cfg.numSms = 1;
+    cfg.divergeOrder = order;
+    if (si_on)
+        cfg = si::withSi(cfg, si::bestSiConfigPoint());
+    cfg.divergeOrder = order;
+    si::Memory mem;
+    si::Program prog = si::assembleOrDie(skewed);
+    if (order == si::DivergeOrder::HintStallFirst)
+        si::annotateStallHints(prog);
+    return double(si::simulate(cfg, mem, prog, {4, 1}).cycles);
+}
+
+} // namespace
+
+int
+main()
+{
+    si::verboseLogging = false;
+
+    // ---- experiment 1: the skewed kernel ----
+    // The fall-through side of "@P0 BRA mathSide" carries the loads,
+    // so TakenFirst models the unlucky order.
+    si::TablePrinter t1("Ablation: skewed two-subwarp kernel "
+                        "(loads on the fall-through side)");
+    t1.header({"diverge order", "baseline cycles", "SI cycles",
+               "speedup"});
+    struct OrderPoint
+    {
+        const char *label;
+        si::DivergeOrder order;
+    };
+    const OrderPoint orders[] = {
+        {"load side first (NotTakenFirst)",
+         si::DivergeOrder::NotTakenFirst},
+        {"math side first (TakenFirst)", si::DivergeOrder::TakenFirst},
+        {"randomized", si::DivergeOrder::Random},
+        {"software stall hints", si::DivergeOrder::HintStallFirst},
+    };
+    for (const auto &o : orders) {
+        const double base = runSkewed(o.order, false);
+        const double with_si = runSkewed(o.order, true);
+        t1.row({o.label, si::TablePrinter::num(base, 0),
+                si::TablePrinter::num(with_si, 0),
+                si::TablePrinter::pct((base / with_si - 1.0) * 100.0)});
+    }
+    t1.print();
+
+    // ---- experiment 2: the application suite ----
+    si::TablePrinter t2("Ablation: mean app speedup by diverge order "
+                        "(Both,N>=0.5, lat=600)");
+    t2.header({"diverge order", "mean speedup"});
+    for (const auto &o : orders) {
+        std::vector<double> speedups;
+        for (si::AppId id : si::allApps()) {
+            si::Workload wl = si::buildApp(id);
+            if (o.order == si::DivergeOrder::HintStallFirst)
+                si::annotateStallHints(wl.program);
+            si::GpuConfig base = si::baselineConfig();
+            base.divergeOrder = o.order;
+            si::GpuConfig si_cfg = si::withSi(base, si::bestSiConfigPoint());
+            const si::GpuResult rb = si::runWorkload(wl, base);
+            const si::GpuResult rs = si::runWorkload(wl, si_cfg);
+            speedups.push_back(si::speedupPct(rb, rs));
+            std::fprintf(stderr, "  [%s %s]\n", o.label, si::appName(id));
+        }
+        t2.row({o.label, si::TablePrinter::pct(si::mean(speedups))});
+    }
+    t2.print();
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Ablation beyond the paper: bounded memory-level parallelism. The
+ * paper's fixed-latency stub grants unlimited outstanding misses; SI's
+ * whole benefit is *more in-flight loads*, so a real memory system's
+ * MSHR budget is a first-order headwind. This sweep bounds outstanding
+ * L1D misses per SM and measures where SI's gain goes.
+ *
+ * Expected shape: with very few MSHRs the extra loads SI issues just
+ * queue (benefit evaporates); the benefit saturates once the MSHR
+ * budget covers the workload's natural MLP.
+ */
+
+#include "bench_common.hh"
+
+#include "rt/microbench.hh"
+
+int
+main()
+{
+    si::verboseLogging = false;
+
+    const std::vector<unsigned> budgets = {4, 8, 16, 32, 0 /*unlimited*/};
+    auto label = [](unsigned b) {
+        return b == 0 ? std::string("unlimited") : std::to_string(b);
+    };
+
+    // ---- microbenchmark: SI's MLP demand is explicit ----
+    si::TablePrinter t1("Ablation: microbench (16-way) SI speedup vs "
+                        "MSHR budget (lat=600)");
+    t1.header({"MSHRs", "baseline cycles", "SI cycles", "speedup (x)"});
+    si::MicrobenchConfig mc;
+    mc.subwarpSize = 2; // 16-way divergence
+    const si::Workload micro = si::buildMicrobench(mc);
+    for (unsigned b : budgets) {
+        si::GpuConfig base = si::baselineConfig();
+        base.maxOutstandingMisses = b;
+        si::GpuConfig si_cfg = si::withSi(
+            base, si::SiConfigPoint{"SOS,N=1", false,
+                                    si::SelectTrigger::AllStalled});
+        const si::GpuResult rb = si::runWorkload(micro, base);
+        const si::GpuResult rs = si::runWorkload(micro, si_cfg);
+        t1.row({label(b), std::to_string(rb.cycles),
+                std::to_string(rs.cycles),
+                si::TablePrinter::num(double(rb.cycles) /
+                                      double(rs.cycles))});
+        std::fprintf(stderr, "  [micro mshr=%s]\n", label(b).c_str());
+    }
+    t1.print();
+
+    // ---- application suite means ----
+    si::TablePrinter t2("Ablation: mean app speedup vs MSHR budget "
+                        "(Both,N>=0.5, lat=600)");
+    t2.header({"MSHRs", "mean speedup"});
+    for (unsigned b : budgets) {
+        si::GpuConfig base = si::baselineConfig();
+        base.maxOutstandingMisses = b;
+        const si::GpuConfig si_cfg =
+            si::withSi(base, si::bestSiConfigPoint());
+        std::vector<double> speedups;
+        for (si::AppId id : si::allApps()) {
+            const si::Workload wl = si::buildApp(id);
+            const si::GpuResult rb = si::runWorkload(wl, base);
+            const si::GpuResult rs = si::runWorkload(wl, si_cfg);
+            speedups.push_back(si::speedupPct(rb, rs));
+            std::fprintf(stderr, "  [mshr=%s %s]\n", label(b).c_str(),
+                         si::appName(id));
+        }
+        t2.row({label(b), si::TablePrinter::pct(si::mean(speedups))});
+    }
+    t2.print();
+    return 0;
+}

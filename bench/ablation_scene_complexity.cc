@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Ablation: scene complexity vs SI benefit (the paper's Amdahl limiter,
+ * Discussion point 2: "the latency of ray traversal operations is often
+ * the dominant factor"). Growing the scene deepens the BVH, inflating
+ * the RT core's convergent traversal time relative to the divergent
+ * shading SI accelerates — the SI gain should shrink.
+ *
+ * Also compares the BVH construction strategies: a median-split BVH
+ * traverses more nodes than binned-SAH, so the same scene becomes more
+ * traversal-bound and less SI-friendly.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    si::verboseLogging = false;
+
+    si::TablePrinter t("Ablation: scene complexity and BVH quality vs "
+                       "SI benefit (BFV1 profile, lat=600)");
+    t.header({"triangles", "BVH", "RT nodes/query", "baseline cycles",
+              "SI speedup"});
+
+    for (unsigned tris : {2000u, 8000u, 32000u}) {
+        for (si::BvhBuilder builder :
+             {si::BvhBuilder::BinnedSah, si::BvhBuilder::MedianSplit}) {
+            si::AppBuild build = si::appBuildConfig(si::AppId::BFV1);
+            build.scene.targetTriangles = tris;
+            auto scene = si::makeScene(build.scene);
+            if (builder == si::BvhBuilder::MedianSplit)
+                scene->bvh = si::Bvh(scene->triangles, builder);
+
+            si::Workload wl =
+                si::buildMegakernel(build.kernel, scene);
+            wl.rtc = build.rtc;
+
+            const si::GpuResult rb =
+                si::runWorkload(wl, si::baselineConfig());
+            const si::GpuResult rs = si::runWorkload(
+                wl,
+                si::withSi(si::baselineConfig(), si::bestSiConfigPoint()));
+
+            // Average traversal work per query from the functional BVH.
+            std::uint64_t nodes = 0;
+            unsigned probes = 0;
+            for (unsigned i = 0; i < 256; ++i) {
+                si::TraversalStats ts;
+                scene->bvh.trace(
+                    scene->primaryRay((i % 16 + 0.5f) / 16.0f,
+                                      (i / 16 + 0.5f) / 16.0f),
+                    &ts);
+                nodes += ts.nodesVisited;
+                ++probes;
+            }
+
+            t.row({std::to_string(tris),
+                   builder == si::BvhBuilder::BinnedSah ? "SAH"
+                                                        : "median",
+                   si::TablePrinter::num(double(nodes) / probes, 1),
+                   std::to_string(rb.cycles),
+                   si::TablePrinter::pct(si::speedupPct(rb, rs))});
+            std::fprintf(stderr, "  [tris=%u %s done]\n", tris,
+                         builder == si::BvhBuilder::BinnedSah ? "sah"
+                                                              : "median");
+        }
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Ablation: the subwarp-yield hardware policy threshold (Section
+ * III-B: "yield after issuing a configurable threshold of long-latency
+ * operations"). Threshold 1 yields after every long-latency issue
+ * (maximal eagerness, maximal switching); larger thresholds approach
+ * plain switch-on-stall.
+ *
+ * Paper shape: eager yielding buys memory-level parallelism but pays
+ * the 6-cycle switch and L0I refetches; "Both" is sometimes worse than
+ * SOS — the sweet spot is workload dependent.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    si::verboseLogging = false;
+    const si::GpuConfig base = si::baselineConfig();
+
+    si::TablePrinter t("Ablation: subwarp-yield threshold "
+                       "(trigger N>=0.5, lat=600)");
+    t.header({"trace", "SOS (no yield)", "thr=1", "thr=2", "thr=4"});
+
+    std::vector<std::vector<double>> cols(4);
+    std::vector<std::vector<std::string>> rows(si::allApps().size());
+    for (std::size_t a = 0; a < si::allApps().size(); ++a)
+        rows[a].push_back(si::appName(si::allApps()[a]));
+
+    unsigned col = 0;
+    for (int thr : {0, 1, 2, 4}) {
+        si::GpuConfig cfg = base;
+        cfg.siEnabled = true;
+        cfg.trigger = si::SelectTrigger::HalfStalled;
+        cfg.yieldEnabled = thr > 0;
+        if (thr > 0)
+            cfg.yieldThreshold = unsigned(thr);
+
+        for (std::size_t a = 0; a < si::allApps().size(); ++a) {
+            const si::Workload wl = si::buildApp(si::allApps()[a]);
+            const si::GpuResult rb = si::runWorkload(wl, base);
+            const si::GpuResult rs = si::runWorkload(wl, cfg);
+            const double sp = si::speedupPct(rb, rs);
+            cols[col].push_back(sp);
+            rows[a].push_back(si::TablePrinter::pct(sp));
+            std::fprintf(stderr, "  [thr=%d %s]\n", thr,
+                         si::appName(si::allApps()[a]));
+        }
+        ++col;
+    }
+
+    for (auto &r : rows)
+        t.row(r);
+    std::vector<std::string> mean_row = {"mean"};
+    for (auto &c : cols)
+        mean_row.push_back(si::TablePrinter::pct(si::mean(c)));
+    t.row(mean_row);
+    t.print();
+    return 0;
+}

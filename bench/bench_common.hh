@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared helpers for the per-figure bench binaries: run an application
+ * suite across SI configurations once and reuse the results.
+ */
+
+#ifndef SI_BENCH_COMMON_HH
+#define SI_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "harness/runner.hh"
+#include "harness/table.hh"
+#include "rt/apps.hh"
+
+namespace si::bench {
+
+/** Baseline + all six SI configurations for one workload. */
+struct AppSweep
+{
+    std::string name;
+    GpuResult base;
+    std::vector<GpuResult> si; ///< indexed like siConfigPoints()
+
+    double
+    speedupOf(std::size_t config_idx) const
+    {
+        return speedupPct(base, si[config_idx]);
+    }
+
+    double
+    bestOf() const
+    {
+        double best = 0.0;
+        for (std::size_t i = 0; i < si.size(); ++i)
+            best = std::max(best, speedupOf(i));
+        return best;
+    }
+};
+
+/** Run one workload through baseline + the six SI points. */
+inline AppSweep
+sweepWorkload(const Workload &wl, const GpuConfig &base_config)
+{
+    AppSweep s;
+    s.name = wl.name;
+    s.base = runWorkload(wl, base_config);
+    for (const auto &pt : siConfigPoints())
+        s.si.push_back(runWorkload(wl, withSi(base_config, pt)));
+    return s;
+}
+
+/** Run the full ten-trace suite at one baseline config. */
+inline std::vector<AppSweep>
+sweepAllApps(const GpuConfig &base_config)
+{
+    std::vector<AppSweep> out;
+    for (AppId id : allApps()) {
+        Workload wl = buildApp(id);
+        out.push_back(sweepWorkload(wl, base_config));
+        std::fprintf(stderr, "  [swept %s]\n", out.back().name.c_str());
+    }
+    return out;
+}
+
+} // namespace si::bench
+
+#endif // SI_BENCH_COMMON_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Related Work (Section VII-B) comparison: Subwarp Interleaving vs a
+ * Dynamic Warp Subdivision comparator, across warp-slot pressure.
+ *
+ * The paper's claim: "We believe that our approach will perform better
+ * than DWS, especially when there are few unused warp slots as is
+ * likely to be the case with effective asynchronous compute use."
+ * DWS forks divergent subwarps into *free warp slots*; when occupancy
+ * already fills the slots, it has nowhere to fork. SI's thread status
+ * table needs no extra slots.
+ *
+ * Two residency regimes per slot configuration:
+ *  - "occupied": the kernels' register demand fills all warp slots
+ *    (async-compute-like pressure) -> DWS starved;
+ *  - "spare": launch throttled to half the slots -> DWS has room.
+ */
+
+#include "bench_common.hh"
+
+namespace {
+
+double
+meanSpeedup(const si::GpuConfig &base, const si::GpuConfig &test_cfg,
+            unsigned warps_per_app)
+{
+    std::vector<double> speedups;
+    for (si::AppId id : si::allApps()) {
+        const si::Workload wl = si::buildApp(id, warps_per_app);
+        const si::GpuResult rb = si::runWorkload(wl, base);
+        const si::GpuResult rt = si::runWorkload(wl, test_cfg);
+        speedups.push_back(si::speedupPct(rb, rt));
+        std::fprintf(stderr, "  [%s done]\n", si::appName(id));
+    }
+    return si::mean(speedups);
+}
+
+} // namespace
+
+int
+main()
+{
+    si::verboseLogging = false;
+
+    si::TablePrinter t("SI vs Dynamic Warp Subdivision "
+                       "(mean app speedup, lat=600)");
+    t.header({"warp slots/SM", "residency", "SI (Both,N>=0.5)",
+              "DWS comparator"});
+
+    for (unsigned slots_per_pb : {4u, 8u}) {
+        for (bool spare : {false, true}) {
+            si::GpuConfig base = si::baselineConfig();
+            base.warpSlotsPerPb = slots_per_pb;
+
+            // "occupied": enough warps queued that every free slot is
+            // refilled; "spare": throttle the launch so half the slots
+            // stay empty for DWS to fork into.
+            const unsigned warps =
+                spare ? base.numSms * base.pbsPerSm * (slots_per_pb / 2)
+                      : 64;
+
+            const double si_gain = meanSpeedup(
+                base, si::withSi(base, si::bestSiConfigPoint()), warps);
+            const double dws_gain =
+                meanSpeedup(base, si::withDws(base), warps);
+
+            t.row({std::to_string(slots_per_pb * 4),
+                   spare ? "half-empty slots" : "slots saturated",
+                   si::TablePrinter::pct(si_gain),
+                   si::TablePrinter::pct(dws_gain)});
+            std::fprintf(stderr, "[slots=%u spare=%d done]\n",
+                         slots_per_pb, int(spare));
+        }
+    }
+    t.print();
+    return 0;
+}

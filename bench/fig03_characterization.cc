@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 3: exposed load-to-use stalls, total and within divergent code
+ * blocks, normalized to kernel runtime, measured on the *baseline*
+ * configuration across the ten raytracing traces.
+ *
+ * Paper shape: every trace spends a significant fraction of its time
+ * (roughly 25%-70%) exposed on memory, and for most traces the
+ * majority of those stall cycles occur in divergent code.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    si::verboseLogging = false;
+    const si::GpuConfig base = si::baselineConfig();
+
+    si::TablePrinter t(
+        "Figure 3: stalls normalized to kernel time (baseline, lat=600)");
+    t.header({"trace", "total exposed ld-to-use", "in divergent blocks"});
+
+    std::vector<double> totals, divergents;
+    for (si::AppId id : si::allApps()) {
+        const si::Workload wl = si::buildApp(id);
+        const si::GpuResult r = si::runWorkload(wl, base);
+        const double total = 100.0 * r.exposedStallFraction();
+        const double div = 100.0 * r.divergentStallFraction();
+        totals.push_back(total);
+        divergents.push_back(div);
+        t.row({si::appName(id), si::TablePrinter::pct(total),
+               si::TablePrinter::pct(div)});
+        std::fprintf(stderr, "  [ran %s]\n", si::appName(id));
+    }
+    t.row({"mean", si::TablePrinter::pct(si::mean(totals)),
+           si::TablePrinter::pct(si::mean(divergents))});
+    t.print();
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 12a: per-trace speedup of Subwarp Interleaving over baseline
+ * at a fixed L1 miss latency of 600 cycles, across the six
+ * configurations {SOS, Both} x {N=1, N>=0.5, N>0}, plus BestOf.
+ *
+ * Paper shape: mean speedup ~6.3% for the best single setting
+ * (Both,N>=0.5); BFV traces near the top (up to ~20%), Coll traces
+ * near zero; BestOf mean ~6.6%.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    si::verboseLogging = false;
+    const si::GpuConfig base = si::baselineConfig();
+    const auto &points = si::siConfigPoints();
+    const auto sweeps = si::bench::sweepAllApps(base);
+
+    si::TablePrinter t("Figure 12a: speedup over baseline (lat=600)");
+    std::vector<std::string> hdr = {"trace"};
+    for (const auto &pt : points)
+        hdr.push_back(pt.label);
+    hdr.push_back("BestOf");
+    t.header(hdr);
+
+    std::vector<std::vector<double>> cols(points.size());
+    std::vector<double> best;
+    for (const auto &s : sweeps) {
+        std::vector<std::string> row = {s.name};
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const double sp = s.speedupOf(i);
+            cols[i].push_back(sp);
+            row.push_back(si::TablePrinter::pct(sp));
+        }
+        best.push_back(s.bestOf());
+        row.push_back(si::TablePrinter::pct(best.back()));
+        t.row(row);
+    }
+
+    std::vector<std::string> mean_row = {"mean"};
+    for (auto &c : cols)
+        mean_row.push_back(si::TablePrinter::pct(si::mean(c)));
+    mean_row.push_back(si::TablePrinter::pct(si::mean(best)));
+    t.row(mean_row);
+    t.print();
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 13: average Subwarp Interleaving speedup over baseline across
+ * L1 miss latencies {300, 600, 900} for all six SI configurations plus
+ * BestOf.
+ *
+ * Paper shape: speedups grow with miss latency — BestOf averages of
+ * 4.2% / 6.6% / 7.6% at 300 / 600 / 900 cycles.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    si::verboseLogging = false;
+    const auto &points = si::siConfigPoints();
+
+    si::TablePrinter t("Figure 13: average speedup vs L1 miss latency");
+    std::vector<std::string> hdr = {"config"};
+    for (si::Cycle lat : {300u, 600u, 900u})
+        hdr.push_back("lat" + std::to_string(lat));
+    t.header(hdr);
+
+    // rows[config][latency index]; last row is BestOf.
+    std::vector<std::vector<double>> grid(points.size() + 1);
+
+    unsigned lat_idx = 0;
+    for (si::Cycle lat : {300u, 600u, 900u}) {
+        std::fprintf(stderr, "[latency %llu]\n",
+                     static_cast<unsigned long long>(lat));
+        const auto sweeps =
+            si::bench::sweepAllApps(si::baselineConfig(lat));
+        for (std::size_t c = 0; c < points.size(); ++c) {
+            std::vector<double> per_app;
+            for (const auto &s : sweeps)
+                per_app.push_back(s.speedupOf(c));
+            grid[c].push_back(si::mean(per_app));
+        }
+        std::vector<double> best;
+        for (const auto &s : sweeps)
+            best.push_back(s.bestOf());
+        grid[points.size()].push_back(si::mean(best));
+        ++lat_idx;
+    }
+
+    for (std::size_t c = 0; c < points.size(); ++c) {
+        std::vector<std::string> row = {points[c].label};
+        for (double v : grid[c])
+            row.push_back(si::TablePrinter::pct(v));
+        t.row(row);
+    }
+    std::vector<std::string> best_row = {"BestOf"};
+    for (double v : grid[points.size()])
+        best_row.push_back(si::TablePrinter::pct(v));
+    t.row(best_row);
+    t.print();
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 14: sensitivity to the number of warp slots per SM. Peak warp
+ * count is throttled to {8, 16, 32} per SM ({2, 4, 8} per processing
+ * block) and SI (best setting) is compared against an identically
+ * throttled baseline.
+ *
+ * Paper shape: SI keeps most of its benefit under throttling —
+ * average speedups of 5.1% / 5.7% / 6.3% at 8 / 16 / 32 warps — since
+ * warp throttling hurts baseline and SI latency tolerance alike.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    si::verboseLogging = false;
+
+    si::TablePrinter t(
+        "Figure 14: speedup vs equally-throttled baseline "
+        "(Both,N>=0.5, lat=600)");
+    t.header({"trace", "8 warps", "16 warps", "32 warps"});
+
+    std::vector<std::vector<double>> per_app(si::allApps().size());
+    std::vector<double> means;
+
+    std::vector<std::vector<std::string>> rows(si::allApps().size());
+    for (std::size_t a = 0; a < si::allApps().size(); ++a)
+        rows[a].push_back(si::appName(si::allApps()[a]));
+
+    for (unsigned slots_per_pb : {2u, 4u, 8u}) {
+        si::GpuConfig base = si::baselineConfig();
+        base.warpSlotsPerPb = slots_per_pb;
+        const si::GpuConfig si_cfg =
+            si::withSi(base, si::bestSiConfigPoint());
+
+        std::vector<double> speedups;
+        for (std::size_t a = 0; a < si::allApps().size(); ++a) {
+            const si::Workload wl = si::buildApp(si::allApps()[a]);
+            const si::GpuResult rb = si::runWorkload(wl, base);
+            const si::GpuResult rs = si::runWorkload(wl, si_cfg);
+            const double sp = si::speedupPct(rb, rs);
+            speedups.push_back(sp);
+            rows[a].push_back(si::TablePrinter::pct(sp));
+            std::fprintf(stderr, "  [slots=%u %s]\n", slots_per_pb * 4,
+                         si::appName(si::allApps()[a]));
+        }
+        means.push_back(si::mean(speedups));
+    }
+
+    for (auto &r : rows)
+        t.row(r);
+    t.row({"mean", si::TablePrinter::pct(means[0]),
+           si::TablePrinter::pct(means[1]),
+           si::TablePrinter::pct(means[2])});
+    t.print();
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 15: sensitivity to the number of subwarps per warp the thread
+ * status table supports ({2, 4, 6, unlimited}), at 32 peak warps per SM.
+ *
+ * Paper shape: 2 subwarps already capture an average ~4.2% speedup;
+ * returns grow sub-linearly (4-subwarp config reaches ~82% of the
+ * unlimited configuration's upside).
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    si::verboseLogging = false;
+    const si::GpuConfig base = si::baselineConfig();
+
+    si::TablePrinter t(
+        "Figure 15: speedup vs TST subwarp budget "
+        "(Both,N>=0.5, lat=600, 32 peak warps)");
+    t.header({"trace", "2 subwarps", "4 subwarps", "6 subwarps",
+              "unlimited"});
+
+    const std::vector<unsigned> budgets = {2, 4, 6, 32};
+    std::vector<std::vector<std::string>> rows(si::allApps().size());
+    for (std::size_t a = 0; a < si::allApps().size(); ++a)
+        rows[a].push_back(si::appName(si::allApps()[a]));
+    std::vector<double> means;
+
+    for (unsigned budget : budgets) {
+        si::GpuConfig si_cfg = si::withSi(base, si::bestSiConfigPoint());
+        si_cfg.maxSubwarps = budget;
+
+        std::vector<double> speedups;
+        for (std::size_t a = 0; a < si::allApps().size(); ++a) {
+            const si::Workload wl = si::buildApp(si::allApps()[a]);
+            const si::GpuResult rb = si::runWorkload(wl, base);
+            const si::GpuResult rs = si::runWorkload(wl, si_cfg);
+            const double sp = si::speedupPct(rb, rs);
+            speedups.push_back(sp);
+            rows[a].push_back(si::TablePrinter::pct(sp));
+            std::fprintf(stderr, "  [tst=%u %s]\n", budget,
+                         si::appName(si::allApps()[a]));
+        }
+        means.push_back(si::mean(speedups));
+    }
+
+    for (auto &r : rows)
+        t.row(r);
+    std::vector<std::string> mean_row = {"mean"};
+    for (double m : means)
+        mean_row.push_back(si::TablePrinter::pct(m));
+    t.row(mean_row);
+
+    if (means.back() > 0) {
+        std::printf("\n4-subwarp configuration captures %.0f%% of the "
+                    "unlimited configuration's mean upside\n",
+                    100.0 * means[1] / means.back());
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself: cycle
+ * throughput on a full raytracing kernel, BVH build and trace rates,
+ * and assembler throughput. These guard the simulator's own
+ * performance, which bounds how large an experiment the harness can
+ * sweep.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/log.hh"
+#include "harness/runner.hh"
+#include "isa/assembler.hh"
+#include "rt/apps.hh"
+#include "rt/microbench.hh"
+
+namespace {
+
+void
+BM_SimulateApp(benchmark::State &state)
+{
+    si::verboseLogging = false;
+    const si::Workload wl = si::buildApp(si::AppId::AV1);
+    const si::GpuConfig cfg = si::baselineConfig();
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        const si::GpuResult r = si::runWorkload(wl, cfg);
+        cycles += r.cycles;
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+        double(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateApp)->Unit(benchmark::kMillisecond);
+
+void
+BM_SimulateMicrobench(benchmark::State &state)
+{
+    si::verboseLogging = false;
+    si::MicrobenchConfig mc;
+    mc.subwarpSize = unsigned(state.range(0));
+    const si::Workload wl = si::buildMicrobench(mc);
+    const si::GpuConfig cfg =
+        si::withSi(si::baselineConfig(), si::bestSiConfigPoint());
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        const si::GpuResult r = si::runWorkload(wl, cfg);
+        cycles += r.cycles;
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+        double(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateMicrobench)->Arg(16)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_BvhBuild(benchmark::State &state)
+{
+    si::verboseLogging = false;
+    si::SceneConfig sc;
+    sc.targetTriangles = unsigned(state.range(0));
+    sc.layout = si::SceneLayout::City;
+    for (auto _ : state) {
+        auto scene = si::makeScene(sc);
+        benchmark::DoNotOptimize(scene->bvh.numNodes());
+    }
+    state.counters["tris/s"] = benchmark::Counter(
+        double(state.range(0)), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BvhBuild)->Arg(4000)->Arg(32000)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_BvhTrace(benchmark::State &state)
+{
+    si::verboseLogging = false;
+    si::SceneConfig sc;
+    sc.targetTriangles = 16000;
+    sc.layout = si::SceneLayout::Terrain;
+    auto scene = si::makeScene(sc);
+    unsigned i = 0;
+    for (auto _ : state) {
+        const float sx = float(i % 101) / 101.0f;
+        const float sy = float(i % 53) / 53.0f;
+        const si::Hit h = scene->bvh.trace(scene->primaryRay(sx, sy));
+        benchmark::DoNotOptimize(h.t);
+        ++i;
+    }
+    state.counters["rays/s"] = benchmark::Counter(
+        double(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BvhTrace);
+
+void
+BM_Assemble(benchmark::State &state)
+{
+    const std::string source = R"(
+.kernel bench
+.regs 32
+top:
+    S2R R0, TID
+    IADD R1, R0, 42
+    LDG R2, [R1+0] &wr=sb0
+    FADD R3, R3, R2 &req=sb0
+    ISETP.LT P0, R1, 100
+    @P0 BRA top
+    EXIT
+)";
+    for (auto _ : state) {
+        si::AsmResult r = si::assemble(source);
+        benchmark::DoNotOptimize(r.ok);
+    }
+}
+BENCHMARK(BM_Assemble);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Section VI, fourth limiter: SI's narrow applicability beyond
+ * raytracing, plus frame-level dilution.
+ *
+ * Part 1 — the paper profiled 400+ compute kernels and found almost
+ * none with long stalls in divergent code; none benefited from SI.
+ * Reproduced over six compute-kernel archetypes at lat 600.
+ *
+ * Part 2 — "current RT game titles are not fully raytraced ... which
+ * dilute SI's gains at the frame level": a synthetic frame mixing one
+ * raytracing kernel with rasterization-era compute passes, showing
+ * the kernel-level gain shrinking at frame scope.
+ */
+
+#include "bench_common.hh"
+
+#include "rt/compute.hh"
+
+int
+main()
+{
+    si::verboseLogging = false;
+    const si::GpuConfig base = si::baselineConfig();
+    const si::GpuConfig si_cfg = si::withSi(base, si::bestSiConfigPoint());
+
+    // ---- part 1: the compute-kernel suite ----
+    si::TablePrinter t1(
+        "Section VI: SI on non-raytracing compute kernels (lat=600)");
+    t1.header({"kernel", "baseline cycles", "SI cycles", "speedup",
+               "divergent branches", "subwarp stalls"});
+    for (si::ComputeKernel k : si::allComputeKernels()) {
+        const si::Workload wl = si::buildComputeKernel(k);
+        const si::GpuResult rb = si::runWorkload(wl, base);
+        const si::GpuResult rs = si::runWorkload(wl, si_cfg);
+        t1.row({si::computeKernelName(k), std::to_string(rb.cycles),
+                std::to_string(rs.cycles),
+                si::TablePrinter::pct(si::speedupPct(rb, rs)),
+                std::to_string(rb.total.divergentBranches),
+                std::to_string(rs.total.subwarpStalls)});
+        std::fprintf(stderr, "  [%s done]\n", si::computeKernelName(k));
+    }
+    t1.print();
+
+    // ---- part 2: frame-level dilution ----
+    si::TablePrinter t2("Section VI: frame-level dilution "
+                        "(BFV1 RT pass + compute passes)");
+    t2.header({"frame mix", "baseline cycles", "SI cycles",
+               "frame speedup"});
+
+    const si::Workload rt = si::buildApp(si::AppId::BFV1);
+    const si::GpuResult rt_b = si::runWorkload(rt, base);
+    const si::GpuResult rt_s = si::runWorkload(rt, si_cfg);
+
+    si::Cycle comp_b = 0, comp_s = 0;
+    for (si::ComputeKernel k : si::allComputeKernels()) {
+        const si::Workload wl = si::buildComputeKernel(k);
+        comp_b += si::runWorkload(wl, base).cycles;
+        comp_s += si::runWorkload(wl, si_cfg).cycles;
+    }
+
+    auto frame_row = [&](const char *label, unsigned compute_repeats) {
+        const si::Cycle fb = rt_b.cycles + compute_repeats * comp_b;
+        const si::Cycle fs = rt_s.cycles + compute_repeats * comp_s;
+        t2.row({label, std::to_string(fb), std::to_string(fs),
+                si::TablePrinter::pct(
+                    (double(fb) / double(fs) - 1.0) * 100.0)});
+    };
+    frame_row("RT kernel only", 0);
+    frame_row("RT + 1x compute passes", 1);
+    frame_row("RT + 4x compute passes", 4);
+    t2.print();
+    return 0;
+}

@@ -1,0 +1,54 @@
+#include "common/log.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace si {
+
+bool verboseLogging = true;
+
+namespace detail {
+
+void
+logMessage(LogLevel level, const char *file, int line, const char *fmt, ...)
+{
+    if (level == LogLevel::Inform && !verboseLogging)
+        return;
+
+    const char *tag = nullptr;
+    switch (level) {
+      case LogLevel::Inform:
+        tag = "info";
+        break;
+      case LogLevel::Warn:
+        tag = "warn";
+        break;
+      case LogLevel::Fatal:
+        tag = "fatal";
+        break;
+      case LogLevel::Panic:
+        tag = "panic";
+        break;
+    }
+
+    std::FILE *out =
+        (level == LogLevel::Inform) ? stdout : stderr;
+
+    std::fprintf(out, "%s: ", tag);
+    std::va_list args;
+    va_start(args, fmt);
+    std::vfprintf(out, fmt, args);
+    va_end(args);
+    if (level == LogLevel::Fatal || level == LogLevel::Panic)
+        std::fprintf(out, " (%s:%d)", file, line);
+    std::fprintf(out, "\n");
+    std::fflush(out);
+
+    if (level == LogLevel::Panic)
+        std::abort();
+    if (level == LogLevel::Fatal)
+        std::exit(1);
+}
+
+} // namespace detail
+} // namespace si

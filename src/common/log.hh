@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Logging and error reporting in the gem5 tradition: panic() for simulator
+ * bugs, fatal() for user errors, warn()/inform() for status.
+ */
+
+#ifndef SI_COMMON_LOG_HH
+#define SI_COMMON_LOG_HH
+
+#include <cstdarg>
+#include <cstdlib>
+#include <string>
+
+namespace si {
+
+/** Severity of a log message. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+namespace detail {
+
+/** Format, print, and for Fatal/Panic terminate the process. */
+[[gnu::format(printf, 4, 5)]]
+void logMessage(LogLevel level, const char *file, int line,
+                const char *fmt, ...);
+
+} // namespace detail
+
+/**
+ * Global verbosity switch: when false, inform() messages are suppressed.
+ * Benchmarks flip this off so tables stay clean.
+ */
+extern bool verboseLogging;
+
+} // namespace si
+
+/** Simulator bug: print and abort(). */
+#define panic(...) \
+    do { \
+        ::si::detail::logMessage(::si::LogLevel::Panic, __FILE__, \
+                                 __LINE__, __VA_ARGS__); \
+        ::std::abort(); /* unreachable; informs the compiler */ \
+    } while (0)
+
+/** User/config error: print and exit(1). */
+#define fatal(...) \
+    do { \
+        ::si::detail::logMessage(::si::LogLevel::Fatal, __FILE__, \
+                                 __LINE__, __VA_ARGS__); \
+        ::std::exit(1); /* unreachable; informs the compiler */ \
+    } while (0)
+
+/** Something dubious but survivable. */
+#define warn(...) \
+    ::si::detail::logMessage(::si::LogLevel::Warn, __FILE__, __LINE__, \
+                             __VA_ARGS__)
+
+/** Normal status output. */
+#define inform(...) \
+    ::si::detail::logMessage(::si::LogLevel::Inform, __FILE__, __LINE__, \
+                             __VA_ARGS__)
+
+/** panic() unless the invariant @p cond holds. */
+#define panic_if(cond, ...) \
+    do { \
+        if (cond) \
+            panic(__VA_ARGS__); \
+    } while (0)
+
+/** fatal() unless the user-facing condition @p cond is false. */
+#define fatal_if(cond, ...) \
+    do { \
+        if (cond) \
+            fatal(__VA_ARGS__); \
+    } while (0)
+
+#endif // SI_COMMON_LOG_HH

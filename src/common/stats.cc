@@ -1,0 +1,26 @@
+#include "common/stats.hh"
+
+#include <cstdio>
+
+namespace si {
+
+std::string
+StatGroup::dump() const
+{
+    std::string out;
+    char line[160];
+    for (const auto &s : scalars_) {
+        std::snprintf(line, sizeof(line), "%-48s %20llu\n",
+                      (name_ + "." + s.name).c_str(),
+                      static_cast<unsigned long long>(s.value));
+        out += line;
+    }
+    for (const auto &f : formulas_) {
+        std::snprintf(line, sizeof(line), "%-48s %20.4f\n",
+                      (name_ + "." + f.name).c_str(), f.fn());
+        out += line;
+    }
+    return out;
+}
+
+} // namespace si

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * A tiny statistics package: named scalar counters grouped per component,
+ * dumpable as aligned text. Deliberately minimal — the simulator's hot
+ * paths bump plain uint64_t members and only registration/dump go through
+ * this interface.
+ */
+
+#ifndef SI_COMMON_STATS_HH
+#define SI_COMMON_STATS_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace si {
+
+/** A group of named statistics with a dump method. */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /**
+     * Register a counter under @p stat_name; returns a reference slot.
+     * References remain valid for the lifetime of the group (deque
+     * storage never relocates elements).
+     */
+    std::uint64_t &
+    scalar(const std::string &stat_name)
+    {
+        scalars_.push_back({stat_name, 0});
+        return scalars_.back().value;
+    }
+
+    /**
+     * Register a derived statistic computed at dump time (ratios,
+     * percentages, ...).
+     */
+    void
+    formula(const std::string &stat_name, std::function<double()> fn)
+    {
+        formulas_.push_back({stat_name, std::move(fn)});
+    }
+
+    /** Render all statistics as "group.stat  value" lines. */
+    std::string dump() const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    struct Scalar
+    {
+        std::string name;
+        std::uint64_t value;
+    };
+
+    struct Formula
+    {
+        std::string name;
+        std::function<double()> fn;
+    };
+
+    std::string name_;
+    std::deque<Scalar> scalars_;
+    std::vector<Formula> formulas_;
+};
+
+} // namespace si
+
+#endif // SI_COMMON_STATS_HH

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * ThreadMask: a 32-bit lane mask with the handful of set operations the
+ * divergence machinery needs.
+ */
+
+#ifndef SI_COMMON_THREAD_MASK_HH
+#define SI_COMMON_THREAD_MASK_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace si {
+
+/**
+ * A set of lanes within a warp. Thin wrapper over uint32_t so that
+ * intent (mask vs. count vs. index) is visible in signatures.
+ */
+class ThreadMask
+{
+  public:
+    constexpr ThreadMask() = default;
+    constexpr explicit ThreadMask(std::uint32_t bits) : bits_(bits) {}
+
+    /** Mask containing every lane of a full warp. */
+    static constexpr ThreadMask
+    full()
+    {
+        return ThreadMask(0xffffffffu);
+    }
+
+    /** Mask containing the first @p n lanes. */
+    static constexpr ThreadMask
+    firstN(unsigned n)
+    {
+        if (n >= warpSize)
+            return full();
+        return ThreadMask((1u << n) - 1u);
+    }
+
+    /** Mask containing only lane @p lane. */
+    static constexpr ThreadMask
+    lane(unsigned lane)
+    {
+        return ThreadMask(1u << lane);
+    }
+
+    constexpr std::uint32_t raw() const { return bits_; }
+    constexpr bool empty() const { return bits_ == 0; }
+    constexpr bool any() const { return bits_ != 0; }
+    constexpr unsigned count() const { return std::popcount(bits_); }
+    constexpr bool test(unsigned l) const { return (bits_ >> l) & 1u; }
+
+    constexpr void set(unsigned l) { bits_ |= (1u << l); }
+    constexpr void clear(unsigned l) { bits_ &= ~(1u << l); }
+
+    /** Index of the lowest set lane; undefined when empty. */
+    constexpr unsigned lowest() const { return std::countr_zero(bits_); }
+
+    /** True when this mask is a subset of @p other. */
+    constexpr bool
+    subsetOf(ThreadMask other) const
+    {
+        return (bits_ & ~other.bits_) == 0;
+    }
+
+    constexpr ThreadMask
+    operator&(ThreadMask o) const
+    {
+        return ThreadMask(bits_ & o.bits_);
+    }
+
+    constexpr ThreadMask
+    operator|(ThreadMask o) const
+    {
+        return ThreadMask(bits_ | o.bits_);
+    }
+
+    /** Set difference: lanes in this mask but not in @p o. */
+    constexpr ThreadMask
+    operator-(ThreadMask o) const
+    {
+        return ThreadMask(bits_ & ~o.bits_);
+    }
+
+    constexpr ThreadMask &
+    operator|=(ThreadMask o)
+    {
+        bits_ |= o.bits_;
+        return *this;
+    }
+
+    constexpr ThreadMask &
+    operator&=(ThreadMask o)
+    {
+        bits_ &= o.bits_;
+        return *this;
+    }
+
+    constexpr ThreadMask &
+    operator-=(ThreadMask o)
+    {
+        bits_ &= ~o.bits_;
+        return *this;
+    }
+
+    constexpr bool operator==(const ThreadMask &) const = default;
+
+  private:
+    std::uint32_t bits_ = 0;
+};
+
+/** Iterate the set lanes of a mask: for (unsigned l : lanesOf(mask)). */
+class LaneRange
+{
+  public:
+    explicit LaneRange(ThreadMask m) : mask_(m.raw()) {}
+
+    class Iterator
+    {
+      public:
+        explicit Iterator(std::uint32_t bits) : bits_(bits) {}
+        unsigned operator*() const { return std::countr_zero(bits_); }
+        Iterator &
+        operator++()
+        {
+            bits_ &= bits_ - 1;
+            return *this;
+        }
+        bool operator!=(const Iterator &o) const { return bits_ != o.bits_; }
+
+      private:
+        std::uint32_t bits_;
+    };
+
+    Iterator begin() const { return Iterator(mask_); }
+    Iterator end() const { return Iterator(0); }
+
+  private:
+    std::uint32_t mask_;
+};
+
+inline LaneRange
+lanesOf(ThreadMask m)
+{
+    return LaneRange(m);
+}
+
+} // namespace si
+
+#endif // SI_COMMON_THREAD_MASK_HH

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Simulator configuration: the Table I architecture parameters, the SI
+ * policy knobs from Sections III and V, and the timing constants of the
+ * fixed-latency memory stub.
+ */
+
+#ifndef SI_CORE_CONFIG_HH
+#define SI_CORE_CONFIG_HH
+
+#include <functional>
+
+#include "common/thread_mask.hh"
+#include "common/types.hh"
+#include "mem/cache.hh"
+#include "rtcore/rtcore.hh"
+
+namespace si {
+
+/** One issued instruction, as seen by an IssueHook observer. */
+struct IssueEvent
+{
+    Cycle cycle;
+    unsigned smId;
+    unsigned warpId;
+    std::uint32_t pc;
+    ThreadMask activeMask;
+};
+
+/**
+ * Optional per-issue observer for tracing/visualization tools. Called
+ * synchronously on every instruction issue; keep it cheap.
+ */
+using IssueHook = std::function<void(const IssueEvent &)>;
+
+/**
+ * When subwarp-select may demote a stalled ACTIVE subwarp, expressed as
+ * the paper's knob over N = fraction of stalled warps among live warps
+ * in a processing block (Section III-C-3).
+ */
+enum class SelectTrigger {
+    AnyStalled,  ///< N > 0: any live warp stalled
+    HalfStalled, ///< N >= 0.5: at least half of the live warps stalled
+    AllStalled,  ///< N = 1: every live warp stalled
+};
+
+/** Warp scheduler arbitration policy. */
+enum class SchedPolicy {
+    LRR, ///< loose round-robin
+    GTO, ///< greedy-then-oldest
+};
+
+/**
+ * Which side of a divergent branch keeps executing (Discussion point 3:
+ * subwarp execution order matters and could be randomized).
+ */
+enum class DivergeOrder {
+    NotTakenFirst,  ///< fall-through path stays ACTIVE (compiler default)
+    TakenFirst,     ///< taken path stays ACTIVE
+    Random,         ///< randomized per divergence event
+    HintStallFirst, ///< software stall hints pick the side (Discussion
+                    ///< item 3 + isa/stall_hints.hh); falls back to
+                    ///< NotTakenFirst on unhinted branches
+};
+
+/** Fixed-latency timing constants. */
+struct LatencyConfig
+{
+    Cycle alu = 4;            ///< short ALU result latency
+    Cycle heavyAlu = 5;       ///< IMUL/IMAD/FFMA
+    Cycle transcendental = 16;///< FRCP/FSQRT
+    Cycle constLoad = 8;      ///< LDC
+    Cycle l1Hit = 32;         ///< LDG hitting in L1D
+    Cycle l1Miss = 600;       ///< the paper's swept parameter {300,600,900}
+    Cycle texBase = 40;       ///< texture pipe cost added to the L1D path
+    Cycle l0iMiss = 20;       ///< L0I miss, L1I hit
+    Cycle l1iMiss = 120;      ///< L0I and L1I miss
+};
+
+/** Full GPU configuration (defaults = the paper's Turing-like baseline). */
+struct GpuConfig
+{
+    // ---- Table I architecture parameters ----
+    unsigned numSms = 2;
+    unsigned pbsPerSm = 4;
+    unsigned warpSlotsPerPb = 8;
+
+    /** 32-bit registers per processing block (64K per SM / 4 PBs). */
+    unsigned regFilePerPb = 16384;
+
+    CacheConfig l1d{"l1d", 128 * 1024, 128, 8};
+    CacheConfig l1i{"l1i", 64 * 1024, 128, 8};
+    CacheConfig l0i{"l0i", 16 * 1024, 128, 4};
+
+    LatencyConfig lat;
+    RtCoreConfig rtc;
+
+    /** Count-based scoreboards per warp. */
+    unsigned numScoreboards = 8;
+
+    /**
+     * Outstanding L1D misses an SM can sustain (0 = unlimited, the
+     * paper's stub model). Nonzero values bound memory-level
+     * parallelism: further misses queue behind a free MSHR, which is
+     * the headwind SI's extra in-flight loads run into on a real
+     * memory system (ablation knob, not a paper parameter).
+     */
+    unsigned maxOutstandingMisses = 0;
+
+    // ---- Subwarp Interleaving knobs (Section III) ----
+
+    /** Master enable: false = baseline SIMT serialization. */
+    bool siEnabled = false;
+
+    /** Enable subwarp-yield ("Both" configurations in Section V). */
+    bool yieldEnabled = false;
+
+    /** Long-latency issues since activation before an auto-yield. */
+    unsigned yieldThreshold = 2;
+
+    /** Policy knob for when subwarp-select may fire. */
+    SelectTrigger trigger = SelectTrigger::HalfStalled;
+
+    /** Thread status table entries == max concurrently stalled subwarps. */
+    unsigned maxSubwarps = 32;
+
+    /** Fixed subwarp switch cost (Section III-C-3). */
+    Cycle switchLatency = 6;
+
+    /**
+     * Dynamic Warp Subdivision comparator (Meng et al., ISCA 2010 —
+     * the paper's Related Work VII-B). Approximated on this
+     * infrastructure as: stalled subwarps may be demoted only while a
+     * *free warp slot* exists in the processing block to host the
+     * split (DWS forks divergent subwarps into real warp slots), with
+     * no subwarp switch latency (each split occupies its own slot) and
+     * no TST budget. Use harness withDws() to build a DWS config.
+     */
+    bool dwsEnabled = false;
+
+    // ---- scheduling policies ----
+    SchedPolicy sched = SchedPolicy::GTO;
+    DivergeOrder divergeOrder = DivergeOrder::NotTakenFirst;
+    std::uint64_t rngSeed = 1;
+
+    /** Watchdog: abort the run if the kernel exceeds this many cycles. */
+    std::uint64_t maxCycles = 200'000'000;
+
+    /** Optional per-issue trace observer (null = disabled). */
+    IssueHook issueHook;
+
+    /** Total warp slots per SM (paper sweeps {8, 16, 32}). */
+    unsigned
+    warpSlotsPerSm() const
+    {
+        return pbsPerSm * warpSlotsPerPb;
+    }
+};
+
+} // namespace si
+
+#endif // SI_CORE_CONFIG_HH

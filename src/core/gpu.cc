@@ -1,0 +1,94 @@
+#include "core/gpu.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace si {
+
+Gpu::Gpu(const GpuConfig &config, Memory &memory, const Bvh *scene)
+    : config_(config), memory_(memory), scene_(scene)
+{
+    fatal_if(config_.numSms == 0, "GPU needs at least one SM");
+    sms_.reserve(config_.numSms);
+    for (unsigned s = 0; s < config_.numSms; ++s)
+        sms_.push_back(std::make_unique<Sm>(s, config_, memory_, scene_));
+}
+
+GpuResult
+Gpu::run(const Program &program, const LaunchParams &launch)
+{
+    return runMulti({KernelLaunch{&program, launch}});
+}
+
+GpuResult
+Gpu::runMulti(const std::vector<KernelLaunch> &kernels)
+{
+    fatal_if(kernels.empty(), "no kernels to launch");
+    unsigned max_warps = 0;
+    for (const auto &k : kernels) {
+        panic_if(k.program == nullptr, "kernel without a program");
+        k.program->validate();
+        fatal_if(k.launch.numWarps == 0, "launch with zero warps");
+        fatal_if(k.launch.warpsPerCta == 0, "warpsPerCta must be nonzero");
+        max_warps = std::max(max_warps, k.launch.numWarps);
+    }
+
+    // Interleave warps across kernels so co-scheduled queues contend
+    // for slots from the start, then round-robin across SMs.
+    unsigned wid = 0;
+    for (unsigned i = 0; i < max_warps; ++i) {
+        for (const auto &k : kernels) {
+            if (i >= k.launch.numWarps)
+                continue;
+            auto warp =
+                std::make_unique<Warp>(wid, 0, k.program, warpSize);
+            warp->logicalId = i;
+            warp->ctaId = i / k.launch.warpsPerCta;
+            sms_[wid % sms_.size()]->addWarp(std::move(warp));
+            ++wid;
+        }
+    }
+
+    GpuResult result;
+    Cycle now = 0;
+    while (true) {
+        bool all_done = true;
+        for (auto &sm : sms_) {
+            if (!sm->done()) {
+                all_done = false;
+                break;
+            }
+        }
+        if (all_done)
+            break;
+        if (now >= config_.maxCycles) {
+            result.timedOut = true;
+            warn("kernel '%s' hit the %llu-cycle watchdog",
+                 kernels.front().program->name().c_str(),
+                 static_cast<unsigned long long>(config_.maxCycles));
+            break;
+        }
+        for (auto &sm : sms_)
+            sm->tick(now);
+        ++now;
+    }
+
+    for (auto &sm : sms_) {
+        sm->finalizeStats();
+        result.perSm.push_back(sm->stats());
+        result.total.accumulate(sm->stats());
+    }
+    result.cycles = result.total.cycles;
+    return result;
+}
+
+GpuResult
+simulate(const GpuConfig &config, Memory &memory, const Program &program,
+         const LaunchParams &launch, const Bvh *scene)
+{
+    Gpu gpu(config, memory, scene);
+    return gpu.run(program, launch);
+}
+
+} // namespace si

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Gpu: the top-level simulator object. Owns the SMs, distributes warps,
+ * runs the clock loop, and aggregates results.
+ */
+
+#ifndef SI_CORE_GPU_HH
+#define SI_CORE_GPU_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/sm.hh"
+
+namespace si {
+
+/** Kernel launch geometry. */
+struct LaunchParams
+{
+    unsigned numWarps = 8;
+    unsigned warpsPerCta = 4;
+};
+
+/** One kernel of a multi-queue (async compute) co-scheduled launch. */
+struct KernelLaunch
+{
+    const Program *program;
+    LaunchParams launch;
+};
+
+/** Outcome of one kernel simulation. */
+struct GpuResult
+{
+    Cycle cycles = 0;       ///< kernel runtime (max over SMs)
+    bool timedOut = false;  ///< hit GpuConfig::maxCycles
+    SmStats total;          ///< statistics summed over SMs
+    std::vector<SmStats> perSm;
+
+    /** Sum of per-SM active cycles (the normalizer for SM metrics). */
+    std::uint64_t
+    smCycleSum() const
+    {
+        std::uint64_t sum = 0;
+        for (const auto &s : perSm)
+            sum += s.cycles;
+        return sum;
+    }
+
+    /** Exposed load-to-use stalls normalized to kernel time (Fig. 3). */
+    double
+    exposedStallFraction() const
+    {
+        const std::uint64_t norm = smCycleSum();
+        return norm ? double(total.exposedLoadStallCycles) / norm : 0;
+    }
+
+    /** Divergent exposed stalls normalized to kernel time (Fig. 3). */
+    double
+    divergentStallFraction() const
+    {
+        const std::uint64_t norm = smCycleSum();
+        return norm
+                   ? double(total.exposedLoadStallCyclesDivergent) / norm
+                   : 0;
+    }
+};
+
+/**
+ * A complete GPU: config.numSms SMs sharing a functional memory image
+ * and (optionally) a scene BVH served by per-SM RT cores.
+ */
+class Gpu
+{
+  public:
+    Gpu(const GpuConfig &config, Memory &memory,
+        const Bvh *scene = nullptr);
+
+    /**
+     * Execute @p program to completion (or the cycle watchdog).
+     * Warps are distributed round-robin across SMs; SMs admit them to
+     * processing blocks as occupancy allows.
+     */
+    GpuResult run(const Program &program, const LaunchParams &launch);
+
+    /**
+     * Co-schedule several kernels, as asynchronous compute queues do
+     * (paper Sections II-B / V-C-2 / VII-B): warps from all kernels
+     * interleave into the same warp slots, contending for slots and
+     * register-file space. Runs until every kernel completes.
+     */
+    GpuResult runMulti(const std::vector<KernelLaunch> &kernels);
+
+    /** Access an SM (tests). */
+    Sm &sm(unsigned i) { return *sms_[i]; }
+    unsigned numSms() const { return unsigned(sms_.size()); }
+
+  private:
+    const GpuConfig config_; ///< copied: callers may reuse/modify theirs
+    Memory &memory_;
+    const Bvh *scene_;
+    std::vector<std::unique_ptr<Sm>> sms_;
+};
+
+/** Convenience: build a GPU and run one kernel. */
+GpuResult simulate(const GpuConfig &config, Memory &memory,
+                   const Program &program, const LaunchParams &launch,
+                   const Bvh *scene = nullptr);
+
+} // namespace si
+
+#endif // SI_CORE_GPU_HH

@@ -1,0 +1,907 @@
+#include "core/sm.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace si {
+
+namespace {
+
+/** Device address where the texture segment lives. */
+constexpr Addr texSegmentBase = 0x40000000ull;
+
+/** Texture address hash: maps (u, v) into a 16 MiB texture segment. */
+Addr
+texAddress(std::uint32_t u, std::uint32_t v)
+{
+    const std::uint32_t offset = ((u << 10) ^ v) & 0x3fffffu;
+    return texSegmentBase + Addr(offset) * 4;
+}
+
+float
+asFloat(std::uint32_t bits)
+{
+    return Instr::bitsToFloat(std::int32_t(bits));
+}
+
+std::uint32_t
+asBits(float f)
+{
+    return std::uint32_t(Instr::fbits(f));
+}
+
+bool
+compare(CmpOp op, std::int64_t a, std::int64_t b)
+{
+    switch (op) {
+      case CmpOp::LT: return a < b;
+      case CmpOp::LE: return a <= b;
+      case CmpOp::GT: return a > b;
+      case CmpOp::GE: return a >= b;
+      case CmpOp::EQ: return a == b;
+      case CmpOp::NE: return a != b;
+    }
+    return false;
+}
+
+bool
+compareF(CmpOp op, float a, float b)
+{
+    switch (op) {
+      case CmpOp::LT: return a < b;
+      case CmpOp::LE: return a <= b;
+      case CmpOp::GT: return a > b;
+      case CmpOp::GE: return a >= b;
+      case CmpOp::EQ: return a == b;
+      case CmpOp::NE: return a != b;
+    }
+    return false;
+}
+
+} // namespace
+
+void
+SmStats::accumulate(const SmStats &other)
+{
+    cycles = std::max(cycles, other.cycles);
+    instrsIssued += other.instrsIssued;
+    warpsRetired += other.warpsRetired;
+    noIssueCycles += other.noIssueCycles;
+    gmemTransactions += other.gmemTransactions;
+    exposedLoadStallCycles += other.exposedLoadStallCycles;
+    exposedLoadStallCyclesDivergent += other.exposedLoadStallCyclesDivergent;
+    exposedFetchStallCycles += other.exposedFetchStallCycles;
+    warpScoreboardStallCycles += other.warpScoreboardStallCycles;
+    warpPipeStallCycles += other.warpPipeStallCycles;
+    warpFetchStallCycles += other.warpFetchStallCycles;
+    warpSwitchCycles += other.warpSwitchCycles;
+    ldgIssued += other.ldgIssued;
+    texIssued += other.texIssued;
+    rtQueriesIssued += other.rtQueriesIssued;
+    stgIssued += other.stgIssued;
+    divergentBranches += other.divergentBranches;
+    reconvergences += other.reconvergences;
+    subwarpSelects += other.subwarpSelects;
+    subwarpStalls += other.subwarpStalls;
+    subwarpWakeups += other.subwarpWakeups;
+    subwarpYields += other.subwarpYields;
+    tstFullDenials += other.tstFullDenials;
+    l1dHits += other.l1dHits;
+    l1dMisses += other.l1dMisses;
+    l1iHits += other.l1iHits;
+    l1iMisses += other.l1iMisses;
+    l0iHits += other.l0iHits;
+    l0iMisses += other.l0iMisses;
+}
+
+Sm::Sm(unsigned id, const GpuConfig &config, Memory &memory,
+       const Bvh *scene)
+    : id_(id),
+      config_(config),
+      memory_(memory),
+      l1d_(config.l1d),
+      l1i_(config.l1i),
+      rtcore_(scene, config.rtc),
+      unit_(config, config.rngSeed + id * 7919 + 1)
+{
+    pbs_.reserve(config.pbsPerSm);
+    for (unsigned p = 0; p < config.pbsPerSm; ++p)
+        pbs_.emplace_back(config.l0i);
+    if (config.maxOutstandingMisses > 0)
+        mshrFreeAt_.assign(config.maxOutstandingMisses, 0);
+}
+
+Cycle
+Sm::missCompletion(Cycle now, Cycle base_latency)
+{
+    if (mshrFreeAt_.empty())
+        return now + base_latency;
+    auto slot = std::min_element(mshrFreeAt_.begin(), mshrFreeAt_.end());
+    const Cycle start = std::max(now, *slot);
+    *slot = start + base_latency;
+    return start + base_latency;
+}
+
+void
+Sm::addWarp(std::unique_ptr<Warp> warp)
+{
+    if (maxResidentPerPb_ == 0) {
+        const unsigned regs_per_warp =
+            warp->program().numRegs() * warpSize;
+        unsigned by_regs = config_.regFilePerPb / regs_per_warp;
+        fatal_if(by_regs == 0,
+                 "kernel '%s' needs %u registers/warp; register file "
+                 "holds only %u",
+                 warp->program().name().c_str(), regs_per_warp,
+                 config_.regFilePerPb);
+        // Informational bound for single-kernel launches; admission
+        // itself checks slots and register-file headroom per warp.
+        maxResidentPerPb_ =
+            std::max(1u, std::min(config_.warpSlotsPerPb, by_regs));
+    }
+    warps_.push_back(std::move(warp));
+    pendingAdmission_.push_back(unsigned(warps_.size() - 1));
+    statusScratch_.resize(warps_.size(), WarpStatus::Done);
+}
+
+bool
+Sm::done() const
+{
+    if (!pendingAdmission_.empty())
+        return false;
+    for (const auto &w : warps_) {
+        if (!w->done())
+            return false;
+    }
+    return true;
+}
+
+void
+Sm::drainWritebacks(Cycle now)
+{
+    while (!events_.empty() && events_.begin()->first <= now) {
+        const Writeback wb = events_.begin()->second;
+        events_.erase(events_.begin());
+        Warp &w = *warps_[wb.warpIdx];
+        w.scoreboards().decr(wb.mask, wb.sb);
+        unit_.wakeup(w, wb.sb);
+    }
+}
+
+void
+Sm::admitWarps()
+{
+    for (unsigned p = 0; p < pbs_.size(); ++p) {
+        auto &resident = pbs_[p].resident;
+        for (auto it = resident.begin(); it != resident.end();) {
+            if (warps_[*it]->done()) {
+                ++stats_.warpsRetired;
+                if (pbs_[p].gtoCurrent == int(*it))
+                    pbs_[p].gtoCurrent = -1;
+                pbs_[p].regsInUse -=
+                    warps_[*it]->program().numRegs() * warpSize;
+                it = resident.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    // Admission into the least-loaded processing block that has both a
+    // free warp slot and register-file headroom for this warp. In-order
+    // admission (head-of-line blocking), as launch queues drain FIFO.
+    while (!pendingAdmission_.empty()) {
+        const unsigned wi = pendingAdmission_.front();
+        const unsigned warp_regs =
+            warps_[wi]->program().numRegs() * warpSize;
+
+        ProcessingBlock *best = nullptr;
+        for (auto &pb : pbs_) {
+            if (pb.resident.size() >= config_.warpSlotsPerPb)
+                continue;
+            if (pb.regsInUse + warp_regs > config_.regFilePerPb)
+                continue;
+            if (!best || pb.resident.size() < best->resident.size())
+                best = &pb;
+        }
+        if (!best)
+            break;
+        pendingAdmission_.pop_front();
+        warps_[wi]->setPb(unsigned(best - pbs_.data()));
+        best->resident.push_back(wi);
+        best->regsInUse += warp_regs;
+    }
+}
+
+WarpStatus
+Sm::evalWarp(unsigned warp_idx, Cycle now)
+{
+    Warp &w = *warps_[warp_idx];
+    if (w.done())
+        return WarpStatus::Done;
+
+    if (w.activeMask().empty()) {
+        if (!w.readySubwarps().empty()) {
+            if (now >= w.issueReadyAt)
+                unit_.select(w, now);
+            return WarpStatus::Busy;
+        }
+        if (w.lanesInState(ThreadState::Stalled).any())
+            return WarpStatus::WaitWakeup;
+        panic("warp %u: convergence barrier deadlock (all live lanes "
+              "blocked, none ready or stalled)",
+              w.id());
+    }
+
+    if (now < w.issueReadyAt)
+        return w.inFetchStall ? WarpStatus::FetchStall : WarpStatus::Busy;
+
+    // Front end: the instruction at the active PC must sit in the
+    // per-warp fetch buffer, fed by L0I -> L1I.
+    const std::uint32_t pc = w.activePc();
+    if (w.fetchedPc != pc) {
+        const Addr line = w.program().instrAddr(pc);
+        ProcessingBlock &pb = pbs_[w.pb()];
+        const bool l0_hit = pb.l0i.access(line);
+        w.fetchedPc = pc;
+        if (!l0_hit) {
+            const bool l1_hit = l1i_.access(line);
+            w.issueReadyAt = now + (l1_hit ? config_.lat.l0iMiss
+                                           : config_.lat.l1iMiss);
+            w.inFetchStall = true;
+            return WarpStatus::FetchStall;
+        }
+    }
+    w.inFetchStall = false;
+
+    const Instr &in = w.program().at(pc);
+    const ThreadMask active = w.activeMask();
+
+    // Load-to-use stall: a required count-based scoreboard is nonzero.
+    if (in.reqSbMask && !w.scoreboards().ready(active, in.reqSbMask))
+        return WarpStatus::ScoreboardStall;
+
+    // Short-latency operand dependences.
+    Cycle ready_at = 0;
+    ready_at = std::max(ready_at, w.regReadyAt(in.srcA));
+    if (!in.bImm)
+        ready_at = std::max(ready_at, w.regReadyAt(in.srcB));
+    ready_at = std::max(ready_at, w.regReadyAt(in.srcC));
+    ready_at = std::max(ready_at, w.predReadyAt(in.guard));
+    if (in.op == Opcode::SEL)
+        ready_at = std::max(ready_at, w.predReadyAt(in.pdst));
+    if (ready_at > now)
+        return WarpStatus::PipeStall;
+
+    return WarpStatus::Issuable;
+}
+
+void
+Sm::pushWriteback(Cycle when, unsigned warp_idx, ThreadMask mask,
+                  SbIndex sb, WbPort port)
+{
+    events_.emplace(when, Writeback{warp_idx, mask, sb, port});
+}
+
+bool
+Sm::stallIsDivergent(const Warp &warp, WarpStatus status) const
+{
+    const unsigned live = warp.live().count();
+    if (status == WarpStatus::ScoreboardStall)
+        return warp.activeMask().count() < live;
+    if (status == WarpStatus::WaitWakeup) {
+        for (const auto &e : warp.tst()) {
+            if (e.valid && (e.members & warp.live()).count() < live)
+                return true;
+        }
+        return false;
+    }
+    return false;
+}
+
+void
+Sm::issue(unsigned warp_idx, Cycle now)
+{
+    Warp &w = *warps_[warp_idx];
+    const std::uint32_t pc = w.activePc();
+    const Instr &in = w.program().at(pc);
+    const ThreadMask active = w.activeMask();
+
+    // Guard: lanes whose predicate passes actually execute; all active
+    // lanes advance past the instruction regardless.
+    ThreadMask exec;
+    for (unsigned lane : lanesOf(active)) {
+        if (w.predicate(lane, in.guard) != in.guardNeg)
+            exec.set(lane);
+    }
+
+    ++stats_.instrsIssued;
+    w.lastIssueCycle = now;
+
+    if (config_.issueHook)
+        config_.issueHook({now, id_, w.id(), pc, active});
+
+    auto advance = [&]() {
+        for (unsigned lane : lanesOf(active))
+            w.setPc(lane, pc + 1);
+    };
+
+    auto for_exec = [&](auto &&fn) {
+        for (unsigned lane : lanesOf(exec))
+            fn(lane);
+    };
+
+    auto rd = [&](unsigned lane, RegIndex r) { return w.reg(lane, r); };
+    auto rdf = [&](unsigned lane, RegIndex r) {
+        return asFloat(w.reg(lane, r));
+    };
+    auto srcb = [&](unsigned lane) {
+        return in.bImm ? std::uint32_t(in.imm) : w.reg(lane, in.srcB);
+    };
+    auto srcbf = [&](unsigned lane) {
+        return in.bImm ? asFloat(std::uint32_t(in.imm))
+                       : asFloat(w.reg(lane, in.srcB));
+    };
+
+    const LatencyConfig &lat = config_.lat;
+    bool advanced = false;
+    Cycle result_lat = lat.alu;
+
+    switch (in.op) {
+      case Opcode::NOP:
+        break;
+
+      case Opcode::MOV:
+        for_exec([&](unsigned lane) {
+            w.setReg(lane, in.dst,
+                     in.bImm ? std::uint32_t(in.imm) : rd(lane, in.srcA));
+        });
+        break;
+
+      case Opcode::S2R:
+        for_exec([&](unsigned lane) {
+            std::uint32_t v = 0;
+            switch (SReg(in.imm)) {
+              case SReg::TID:
+                v = w.logicalId * warpSize + lane;
+                break;
+              case SReg::CTAID:
+                v = w.ctaId;
+                break;
+              case SReg::LANEID:
+                v = lane;
+                break;
+              case SReg::WARPID:
+                v = w.logicalId;
+                break;
+            }
+            w.setReg(lane, in.dst, v);
+        });
+        break;
+
+      case Opcode::IADD:
+        for_exec([&](unsigned lane) {
+            w.setReg(lane, in.dst, rd(lane, in.srcA) + srcb(lane));
+        });
+        break;
+      case Opcode::ISUB:
+        for_exec([&](unsigned lane) {
+            w.setReg(lane, in.dst, rd(lane, in.srcA) - srcb(lane));
+        });
+        break;
+      case Opcode::IMUL:
+        result_lat = lat.heavyAlu;
+        for_exec([&](unsigned lane) {
+            w.setReg(lane, in.dst, rd(lane, in.srcA) * srcb(lane));
+        });
+        break;
+      case Opcode::IMAD:
+        result_lat = lat.heavyAlu;
+        for_exec([&](unsigned lane) {
+            w.setReg(lane, in.dst,
+                     rd(lane, in.srcA) * srcb(lane) + rd(lane, in.srcC));
+        });
+        break;
+      case Opcode::IMIN:
+        for_exec([&](unsigned lane) {
+            w.setReg(lane, in.dst,
+                     std::uint32_t(std::min(
+                         std::int32_t(rd(lane, in.srcA)),
+                         std::int32_t(srcb(lane)))));
+        });
+        break;
+      case Opcode::IMAX:
+        for_exec([&](unsigned lane) {
+            w.setReg(lane, in.dst,
+                     std::uint32_t(std::max(
+                         std::int32_t(rd(lane, in.srcA)),
+                         std::int32_t(srcb(lane)))));
+        });
+        break;
+      case Opcode::AND:
+        for_exec([&](unsigned lane) {
+            w.setReg(lane, in.dst, rd(lane, in.srcA) & srcb(lane));
+        });
+        break;
+      case Opcode::OR:
+        for_exec([&](unsigned lane) {
+            w.setReg(lane, in.dst, rd(lane, in.srcA) | srcb(lane));
+        });
+        break;
+      case Opcode::XOR:
+        for_exec([&](unsigned lane) {
+            w.setReg(lane, in.dst, rd(lane, in.srcA) ^ srcb(lane));
+        });
+        break;
+      case Opcode::SHL:
+        for_exec([&](unsigned lane) {
+            w.setReg(lane, in.dst, rd(lane, in.srcA) << (srcb(lane) & 31));
+        });
+        break;
+      case Opcode::SHR:
+        for_exec([&](unsigned lane) {
+            w.setReg(lane, in.dst, rd(lane, in.srcA) >> (srcb(lane) & 31));
+        });
+        break;
+
+      case Opcode::FADD:
+        for_exec([&](unsigned lane) {
+            w.setReg(lane, in.dst,
+                     asBits(rdf(lane, in.srcA) + srcbf(lane)));
+        });
+        break;
+      case Opcode::FMUL:
+        for_exec([&](unsigned lane) {
+            w.setReg(lane, in.dst,
+                     asBits(rdf(lane, in.srcA) * srcbf(lane)));
+        });
+        break;
+      case Opcode::FFMA:
+        result_lat = lat.heavyAlu;
+        for_exec([&](unsigned lane) {
+            w.setReg(lane, in.dst,
+                     asBits(rdf(lane, in.srcA) * srcbf(lane) +
+                            rdf(lane, in.srcC)));
+        });
+        break;
+      case Opcode::FMIN:
+        for_exec([&](unsigned lane) {
+            w.setReg(lane, in.dst,
+                     asBits(std::fmin(rdf(lane, in.srcA), srcbf(lane))));
+        });
+        break;
+      case Opcode::FMAX:
+        for_exec([&](unsigned lane) {
+            w.setReg(lane, in.dst,
+                     asBits(std::fmax(rdf(lane, in.srcA), srcbf(lane))));
+        });
+        break;
+      case Opcode::FRCP:
+        result_lat = lat.transcendental;
+        for_exec([&](unsigned lane) {
+            const float a = rdf(lane, in.srcA);
+            w.setReg(lane, in.dst, asBits(a == 0.0f ? 0.0f : 1.0f / a));
+        });
+        break;
+      case Opcode::FSQRT:
+        result_lat = lat.transcendental;
+        for_exec([&](unsigned lane) {
+            w.setReg(lane, in.dst,
+                     asBits(std::sqrt(std::fmax(0.0f,
+                                                rdf(lane, in.srcA)))));
+        });
+        break;
+      case Opcode::I2F:
+        for_exec([&](unsigned lane) {
+            w.setReg(lane, in.dst,
+                     asBits(float(std::int32_t(rd(lane, in.srcA)))));
+        });
+        break;
+      case Opcode::F2I:
+        for_exec([&](unsigned lane) {
+            // Saturating conversion (CUDA cvt semantics); the naive
+            // cast is UB for out-of-range values.
+            const float f = rdf(lane, in.srcA);
+            std::int32_t v;
+            if (!std::isfinite(f))
+                v = f > 0 ? INT32_MAX : (f < 0 ? INT32_MIN : 0);
+            else if (f >= 2147483647.0f)
+                v = INT32_MAX;
+            else if (f <= -2147483648.0f)
+                v = INT32_MIN;
+            else
+                v = std::int32_t(f);
+            w.setReg(lane, in.dst, std::uint32_t(v));
+        });
+        break;
+
+      case Opcode::ISETP:
+        for_exec([&](unsigned lane) {
+            w.setPredicate(lane, in.pdst,
+                           compare(in.cmp,
+                                   std::int32_t(rd(lane, in.srcA)),
+                                   std::int32_t(srcb(lane))));
+        });
+        w.setPredReadyAt(in.pdst, now + lat.alu);
+        break;
+      case Opcode::FSETP:
+        for_exec([&](unsigned lane) {
+            w.setPredicate(lane, in.pdst,
+                           compareF(in.cmp, rdf(lane, in.srcA),
+                                    srcbf(lane)));
+        });
+        w.setPredReadyAt(in.pdst, now + lat.alu);
+        break;
+      case Opcode::SEL:
+        for_exec([&](unsigned lane) {
+            w.setReg(lane, in.dst,
+                     w.predicate(lane, in.pdst) ? rd(lane, in.srcA)
+                                                : srcb(lane));
+        });
+        break;
+
+      case Opcode::LDC:
+        result_lat = lat.constLoad;
+        for_exec([&](unsigned lane) {
+            w.setReg(lane, in.dst,
+                     memory_.readConst(std::uint32_t(in.imm)));
+        });
+        break;
+
+      case Opcode::LDG: {
+        ++stats_.ldgIssued;
+        bool any_miss = false;
+        // Coalesce: one L1D transaction per unique line across lanes.
+        std::array<Addr, warpSize> lines;
+        unsigned num_lines = 0;
+        for (unsigned lane : lanesOf(exec)) {
+            const Addr addr =
+                Addr(rd(lane, in.srcA)) + Addr(std::int64_t(in.imm));
+            w.setReg(lane, in.dst, memory_.read(addr));
+            const Addr line = l1d_.lineOf(addr);
+            bool seen = false;
+            for (unsigned i = 0; i < num_lines; ++i)
+                seen |= lines[i] == line;
+            if (!seen)
+                lines[num_lines++] = line;
+        }
+        for (unsigned i = 0; i < num_lines; ++i)
+            any_miss |= !l1d_.access(lines[i]);
+        stats_.gmemTransactions += num_lines;
+        if (exec.any() && in.wrSb != sbNone) {
+            w.scoreboards().incr(exec, in.wrSb);
+            const Cycle done = any_miss
+                                   ? missCompletion(now, lat.l1Miss)
+                                   : now + lat.l1Hit;
+            pushWriteback(done, warp_idx, exec, in.wrSb, WbPort::Lsu);
+        }
+        ++w.longOpsSinceSwitch;
+        result_lat = 1;
+        break;
+      }
+
+      case Opcode::STG:
+        ++stats_.stgIssued;
+        for_exec([&](unsigned lane) {
+            const Addr addr =
+                Addr(rd(lane, in.srcA)) + Addr(std::int64_t(in.imm));
+            memory_.write(addr, rd(lane, in.srcB));
+        });
+        break;
+
+      case Opcode::TEX:
+      case Opcode::TLD: {
+        ++stats_.texIssued;
+        bool any_miss = false;
+        std::array<Addr, warpSize> lines;
+        unsigned num_lines = 0;
+        for (unsigned lane : lanesOf(exec)) {
+            const Addr addr =
+                texAddress(rd(lane, in.srcA), rd(lane, in.srcB));
+            w.setReg(lane, in.dst, memory_.read(addr));
+            const Addr line = l1d_.lineOf(addr);
+            bool seen = false;
+            for (unsigned i = 0; i < num_lines; ++i)
+                seen |= lines[i] == line;
+            if (!seen)
+                lines[num_lines++] = line;
+        }
+        for (unsigned i = 0; i < num_lines; ++i)
+            any_miss |= !l1d_.access(lines[i]);
+        stats_.gmemTransactions += num_lines;
+        if (exec.any() && in.wrSb != sbNone) {
+            w.scoreboards().incr(exec, in.wrSb);
+            const Cycle done = any_miss
+                                   ? missCompletion(now, lat.l1Miss)
+                                   : now + lat.l1Hit;
+            pushWriteback(done + lat.texBase, warp_idx, exec, in.wrSb,
+                          WbPort::Tex);
+        }
+        ++w.longOpsSinceSwitch;
+        result_lat = 1;
+        break;
+      }
+
+      case Opcode::RTQUERY: {
+        ++stats_.rtQueriesIssued;
+        panic_if(!rtcore_.hasScene(),
+                 "RTQUERY issued but no scene is attached");
+        std::array<Ray, warpSize> rays;
+        for (unsigned lane : lanesOf(exec)) {
+            Ray &r = rays[lane];
+            r.origin = {rdf(lane, RegIndex(in.srcA + 0)),
+                        rdf(lane, RegIndex(in.srcA + 1)),
+                        rdf(lane, RegIndex(in.srcA + 2))};
+            r.dir = {rdf(lane, RegIndex(in.srcA + 3)),
+                     rdf(lane, RegIndex(in.srcA + 4)),
+                     rdf(lane, RegIndex(in.srcA + 5))};
+        }
+        const WarpQueryResult q = rtcore_.query(now, exec, rays);
+        for (unsigned lane : lanesOf(exec)) {
+            const Hit &h = q.hits[lane];
+            w.setReg(lane, in.dst, h.valid ? h.materialId + 1 : 0);
+            w.setReg(lane, RegIndex(in.dst + 1),
+                     asBits(h.valid ? h.t : 1e30f));
+            w.setReg(lane, RegIndex(in.dst + 2), h.primId);
+        }
+        if (exec.any() && in.wrSb != sbNone) {
+            w.scoreboards().incr(exec, in.wrSb);
+            pushWriteback(now + q.latency, warp_idx, exec, in.wrSb,
+                          WbPort::Tex);
+        }
+        ++w.longOpsSinceSwitch;
+        result_lat = 1;
+        break;
+      }
+
+      case Opcode::BRA: {
+        if (exec.empty()) {
+            // No lane takes the branch.
+            break;
+        }
+        if (exec == active) {
+            for (unsigned lane : lanesOf(active))
+                w.setPc(lane, in.target);
+            advanced = true;
+            break;
+        }
+        // Divergence: exec lanes take, the rest fall through.
+        unit_.diverge(w, exec, in.target, pc + 1, in.stallHint);
+        advanced = true;
+        break;
+      }
+
+      case Opcode::BSSY:
+        w.setBarrier(in.bar, w.barrier(in.bar) | active);
+        break;
+
+      case Opcode::BSYNC:
+        unit_.arriveBsync(w, in.bar, pc, now);
+        advanced = true;
+        break;
+
+      case Opcode::YIELD:
+        advance();
+        advanced = true;
+        if (config_.siEnabled && config_.yieldEnabled)
+            unit_.subwarpYield(w, now);
+        break;
+
+      case Opcode::EXIT: {
+        if (exec == active) {
+            unit_.exitLanes(w, exec, now);
+        } else {
+            // Partially guarded EXIT: survivors continue.
+            for (unsigned lane : lanesOf(active - exec))
+                w.setPc(lane, pc + 1);
+            unit_.exitLanes(w, exec, now);
+        }
+        advanced = true;
+        break;
+      }
+
+      default:
+        panic("unhandled opcode %s", opcodeName(in.op));
+    }
+
+    if (!advanced)
+        advance();
+
+    // Result latency for short producers; long producers are guarded by
+    // their scoreboards and only need the issue slot.
+    if (in.dst != regNone && in.op != Opcode::STG)
+        w.setRegReadyAt(in.dst, now + result_lat);
+    if (in.op == Opcode::RTQUERY) {
+        w.setRegReadyAt(RegIndex(in.dst + 1), now + 1);
+        w.setRegReadyAt(RegIndex(in.dst + 2), now + 1);
+    }
+
+    // Hardware-policy subwarp-yield: after a burst of long-latency
+    // issues, eagerly hand the slot to another subwarp (Section III-B).
+    if (config_.siEnabled && config_.yieldEnabled &&
+        isLongLatency(in.op) &&
+        w.longOpsSinceSwitch >= config_.yieldThreshold &&
+        w.activeMask().any()) {
+        unit_.subwarpYield(w, now);
+    }
+}
+
+void
+Sm::tick(Cycle now)
+{
+    if (done())
+        return;
+    ++stats_.cycles;
+    drainWritebacks(now);
+    admitWarps();
+
+    unsigned issued_total = 0;
+    bool any_live = false;
+    unsigned mem_stalled_warps = 0;
+    unsigned mem_stalled_divergent = 0;
+    bool any_fetch_stall = false;
+
+    for (auto &pb : pbs_) {
+        unsigned live = 0;
+        unsigned stalled = 0;
+
+        for (unsigned wi : pb.resident) {
+            const WarpStatus st = evalWarp(wi, now);
+            statusScratch_[wi] = st;
+            if (st == WarpStatus::Done)
+                continue;
+            ++live;
+            switch (st) {
+              case WarpStatus::ScoreboardStall:
+              case WarpStatus::WaitWakeup:
+                ++stalled;
+                ++stats_.warpScoreboardStallCycles;
+                ++mem_stalled_warps;
+                if (stallIsDivergent(*warps_[wi], st))
+                    ++mem_stalled_divergent;
+                break;
+              case WarpStatus::PipeStall:
+                ++stats_.warpPipeStallCycles;
+                break;
+              case WarpStatus::FetchStall:
+                ++stats_.warpFetchStallCycles;
+                any_fetch_stall = true;
+                break;
+              case WarpStatus::Busy:
+                ++stats_.warpSwitchCycles;
+                break;
+              default:
+                break;
+            }
+        }
+        any_live |= live > 0;
+
+        // ---- warp scheduler: pick one issuable warp ----
+        int pick = -1;
+        if (config_.sched == SchedPolicy::GTO) {
+            if (pb.gtoCurrent >= 0 &&
+                statusScratch_[pb.gtoCurrent] == WarpStatus::Issuable) {
+                pick = pb.gtoCurrent;
+            } else {
+                for (unsigned wi : pb.resident) {
+                    if (statusScratch_[wi] == WarpStatus::Issuable) {
+                        pick = int(wi);
+                        break;
+                    }
+                }
+            }
+        } else { // LRR
+            const std::size_t n = pb.resident.size();
+            for (std::size_t k = 0; k < n; ++k) {
+                const std::size_t pos = (pb.lrrCursor + 1 + k) % n;
+                const unsigned wi = pb.resident[pos];
+                if (statusScratch_[wi] == WarpStatus::Issuable) {
+                    pick = int(wi);
+                    pb.lrrCursor = unsigned(pos);
+                    break;
+                }
+            }
+        }
+
+        if (pick >= 0) {
+            issue(unsigned(pick), now);
+            pb.gtoCurrent = pick;
+            ++issued_total;
+        }
+
+        // ---- SI: policy-gated subwarp-stall demotion ----
+        if (config_.siEnabled && stalled > 0 && live > 0) {
+            bool trigger = false;
+            switch (config_.trigger) {
+              case SelectTrigger::AnyStalled:
+                trigger = stalled > 0;
+                break;
+              case SelectTrigger::HalfStalled:
+                trigger = 2 * stalled >= live;
+                break;
+              case SelectTrigger::AllStalled:
+                trigger = stalled == live;
+                break;
+            }
+            // DWS comparator: a split needs a free warp slot in this
+            // processing block to host it (see config.dwsEnabled).
+            if (trigger && config_.dwsEnabled) {
+                unsigned splits_live = 0;
+                for (unsigned wi : pb.resident)
+                    splits_live += warps_[wi]->tstOccupancy();
+                const unsigned free_slots =
+                    config_.warpSlotsPerPb > pb.resident.size()
+                        ? config_.warpSlotsPerPb -
+                              unsigned(pb.resident.size())
+                        : 0;
+                if (splits_live >= free_slots)
+                    trigger = false;
+            }
+
+            if (trigger) {
+                // Lowest-numbered stalled warp with a READY subwarp.
+                for (unsigned wi : pb.resident) {
+                    if (statusScratch_[wi] != WarpStatus::ScoreboardStall)
+                        continue;
+                    Warp &w = *warps_[wi];
+                    if (w.readySubwarps().empty())
+                        continue;
+                    const Instr &in = w.program().at(w.activePc());
+                    if (unit_.subwarpStall(w, in.reqSbMask, now))
+                        break;
+                }
+            }
+        }
+    }
+
+    // ---- SM-level exposed stall accounting (paper Section I) ----
+    if (any_live && issued_total == 0) {
+        ++stats_.noIssueCycles;
+        if (mem_stalled_warps > 0) {
+            ++stats_.exposedLoadStallCycles;
+            // Attribute the cycle to divergent code in proportion to
+            // the memory-stalled warps whose stalling subwarp is
+            // divergent (separates Coll-style convergent stalls).
+            stats_.exposedLoadStallCyclesDivergent +=
+                double(mem_stalled_divergent) / double(mem_stalled_warps);
+        } else if (any_fetch_stall) {
+            ++stats_.exposedFetchStallCycles;
+        }
+    }
+}
+
+void
+Sm::finalizeStats()
+{
+    // Retirement is otherwise only observed when a slot is recycled;
+    // recount here so warps that finish last are included.
+    stats_.warpsRetired = 0;
+    for (const auto &w : warps_) {
+        if (w->done())
+            ++stats_.warpsRetired;
+    }
+
+    const SubwarpUnitStats &us = unit_.stats();
+    stats_.divergentBranches = us.divergentBranches;
+    stats_.reconvergences = us.reconvergences;
+    stats_.subwarpSelects = us.subwarpSelects;
+    stats_.subwarpStalls = us.subwarpStalls;
+    stats_.subwarpWakeups = us.subwarpWakeups;
+    stats_.subwarpYields = us.subwarpYields;
+    stats_.tstFullDenials = us.stallDemotionsDeniedTstFull;
+
+    stats_.l1dHits = l1d_.hits();
+    stats_.l1dMisses = l1d_.misses();
+    stats_.l1iHits = l1i_.hits();
+    stats_.l1iMisses = l1i_.misses();
+
+    stats_.l0iHits = 0;
+    stats_.l0iMisses = 0;
+    for (const auto &pb : pbs_) {
+        stats_.l0iHits += pb.l0i.hits();
+        stats_.l0iMisses += pb.l0i.misses();
+    }
+}
+
+} // namespace si

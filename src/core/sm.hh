@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Sm: one streaming multiprocessor — four processing blocks with warp
+ * schedulers and L0 instruction caches, a shared L1I and L1D, an RT
+ * core, writeback event plumbing, and the warp-status evaluation that
+ * classifies stalls for both scheduling and the paper's exposed
+ * load-to-use stall metric.
+ */
+
+#ifndef SI_CORE_SM_HH
+#define SI_CORE_SM_HH
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/subwarp_scheduler.hh"
+#include "core/warp.hh"
+#include "mem/cache.hh"
+#include "mem/memory.hh"
+#include "rtcore/rtcore.hh"
+
+namespace si {
+
+/** Why a warp could (or could not) issue this cycle. */
+enum class WarpStatus : std::uint8_t {
+    Issuable,        ///< ready to issue its next instruction
+    Busy,            ///< switch or fetch penalty timer still running
+    FetchStall,      ///< just initiated an instruction fetch
+    ScoreboardStall, ///< load-to-use stall: &req scoreboard outstanding
+    PipeStall,       ///< short-latency operand not yet ready
+    WaitWakeup,      ///< no ACTIVE subwarp; all demoted subwarps pending
+    Done,            ///< every lane exited
+};
+
+/** Aggregate statistics for one SM (and, summed, for the GPU). */
+struct SmStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t instrsIssued = 0;
+    std::uint64_t warpsRetired = 0;
+
+    /** Cycles with zero issues across all processing blocks. */
+    std::uint64_t noIssueCycles = 0;
+
+    /** Exposed load-to-use stalls (paper Section I definition). */
+    std::uint64_t exposedLoadStallCycles = 0;
+
+    /**
+     * Exposed stall cycles attributed to divergent code, weighted by
+     * the fraction of memory-stalled warps whose stalling subwarp is
+     * divergent in each exposed cycle.
+     */
+    double exposedLoadStallCyclesDivergent = 0;
+
+    /** No-issue cycles attributable to instruction fetch. */
+    std::uint64_t exposedFetchStallCycles = 0;
+
+    /** Warp-cycles spent in each blocked classification. */
+    std::uint64_t warpScoreboardStallCycles = 0;
+    std::uint64_t warpPipeStallCycles = 0;
+    std::uint64_t warpFetchStallCycles = 0;
+    std::uint64_t warpSwitchCycles = 0;
+
+    /** Dynamic operation mix. */
+    std::uint64_t ldgIssued = 0;
+
+    /** Global-memory transactions (unique L1D lines per LDG/TEX). */
+    std::uint64_t gmemTransactions = 0;
+    std::uint64_t texIssued = 0;
+    std::uint64_t rtQueriesIssued = 0;
+    std::uint64_t stgIssued = 0;
+
+    /** Divergence machinery (mirrors SubwarpUnitStats at end of run). */
+    std::uint64_t divergentBranches = 0;
+    std::uint64_t reconvergences = 0;
+    std::uint64_t subwarpSelects = 0;
+    std::uint64_t subwarpStalls = 0;
+    std::uint64_t subwarpWakeups = 0;
+    std::uint64_t subwarpYields = 0;
+    std::uint64_t tstFullDenials = 0;
+
+    /** Cache behaviour. */
+    std::uint64_t l1dHits = 0, l1dMisses = 0;
+    std::uint64_t l1iHits = 0, l1iMisses = 0;
+    std::uint64_t l0iHits = 0, l0iMisses = 0;
+
+    /** Accumulate another SM's statistics into this one. */
+    void accumulate(const SmStats &other);
+};
+
+/**
+ * One processing block: warp slots, an L0 instruction cache, and the
+ * warp-scheduler arbitration state. Pure data; the issue logic lives
+ * in Sm.
+ */
+struct ProcessingBlock
+{
+    explicit ProcessingBlock(const CacheConfig &l0_config)
+        : l0i(l0_config)
+    {
+    }
+
+    Cache l0i;
+    std::vector<unsigned> resident; ///< indices into Sm::warps_
+    unsigned regsInUse = 0;         ///< register-file words allocated
+    unsigned lrrCursor = 0;
+    int gtoCurrent = -1; ///< warp index the greedy scheduler is riding
+};
+
+/** One streaming multiprocessor. */
+class Sm
+{
+  public:
+    /**
+     * @param id    SM index (stats naming)
+     * @param config shared GPU configuration
+     * @param memory functional memory image
+     * @param scene  BVH for RTQUERY, or nullptr for compute-only kernels
+     */
+    Sm(unsigned id, const GpuConfig &config, Memory &memory,
+       const Bvh *scene);
+
+    /** Hand a warp to this SM; it is admitted when a slot frees up. */
+    void addWarp(std::unique_ptr<Warp> warp);
+
+    /** True when every assigned warp has retired. */
+    bool done() const;
+
+    /** Advance one core clock. */
+    void tick(Cycle now);
+
+    /** Finalize statistics (fold in unit/cache counters). */
+    void finalizeStats();
+
+    const SmStats &stats() const { return stats_; }
+    SmStats &stats() { return stats_; }
+
+    Cache &l1d() { return l1d_; }
+    Cache &l1i() { return l1i_; }
+    RtCore &rtCore() { return rtcore_; }
+    const SubwarpUnit &subwarpUnit() const { return unit_; }
+
+    /** Number of warps assigned over the run (tests). */
+    std::size_t numWarps() const { return warps_.size(); }
+
+    /** Direct warp access (tests). */
+    Warp &warpAt(std::size_t i) { return *warps_[i]; }
+
+    /**
+     * Warps concurrently resident per PB under the *first* admitted
+     * kernel's register demand (single-kernel launches; co-scheduled
+     * launches are bounded per warp by the register-file accounting).
+     */
+    unsigned maxResidentPerPb() const { return maxResidentPerPb_; }
+
+  private:
+    /** Pending writeback: a scoreboard release at a future cycle. */
+    struct Writeback
+    {
+        unsigned warpIdx;
+        ThreadMask mask;
+        SbIndex sb;
+        WbPort port;
+    };
+
+    void drainWritebacks(Cycle now);
+    void admitWarps();
+
+    /**
+     * Classify @p warp for this cycle. Side effects: triggers subwarp
+     * selection when the warp has no ACTIVE subwarp, and initiates
+     * instruction fetch when the buffered PC is stale.
+     */
+    WarpStatus evalWarp(unsigned warp_idx, Cycle now);
+
+    /** Issue the active subwarp's next instruction. */
+    void issue(unsigned warp_idx, Cycle now);
+
+    /** Schedule a writeback event. */
+    void pushWriteback(Cycle when, unsigned warp_idx, ThreadMask mask,
+                       SbIndex sb, WbPort port);
+
+    /**
+     * Completion time of an L1D miss issued at @p now, honoring the
+     * MSHR limit (config.maxOutstandingMisses): with all MSHRs busy
+     * the miss queues behind the earliest-free one.
+     */
+    Cycle missCompletion(Cycle now, Cycle base_latency);
+
+    /** True when the stalling subwarp(s) of @p warp are divergent. */
+    bool stallIsDivergent(const Warp &warp, WarpStatus status) const;
+
+    unsigned id_;
+    const GpuConfig &config_;
+    Memory &memory_;
+
+    Cache l1d_;
+    Cache l1i_;
+    RtCore rtcore_;
+    SubwarpUnit unit_;
+
+    std::vector<std::unique_ptr<Warp>> warps_;
+    std::deque<unsigned> pendingAdmission_;
+    std::vector<ProcessingBlock> pbs_;
+    std::multimap<Cycle, Writeback> events_;
+
+    unsigned maxResidentPerPb_ = 0;
+    unsigned retired_ = 0;
+
+    /** Per-MSHR busy-until times (empty = unlimited MSHRs). */
+    std::vector<Cycle> mshrFreeAt_;
+
+    /** Per-cycle scratch: status of each resident warp. */
+    std::vector<WarpStatus> statusScratch_;
+
+    SmStats stats_;
+};
+
+} // namespace si
+
+#endif // SI_CORE_SM_HH

@@ -1,0 +1,294 @@
+#include "core/subwarp_scheduler.hh"
+
+#include "common/log.hh"
+
+namespace si {
+
+SubwarpUnit::SubwarpUnit(const GpuConfig &config, std::uint64_t rng_seed)
+    : config_(config), rng_(rng_seed)
+{
+}
+
+void
+SubwarpUnit::diverge(Warp &warp, ThreadMask taken, std::uint32_t taken_pc,
+                     std::uint32_t fallthrough_pc, std::int8_t stall_hint)
+{
+    const ThreadMask active = warp.activeMask();
+    const ThreadMask not_taken = active - taken;
+    panic_if(taken.empty() || not_taken.empty(),
+             "diverge() called on a uniform branch");
+
+    bool keep_taken;
+    switch (config_.divergeOrder) {
+      case DivergeOrder::TakenFirst:
+        keep_taken = true;
+        break;
+      case DivergeOrder::NotTakenFirst:
+        keep_taken = false;
+        break;
+      case DivergeOrder::HintStallFirst:
+        // Prefer the path the compiler marked as stall-heavy so the
+        // other path is banked for latency tolerance.
+        keep_taken = stall_hint > 0;
+        break;
+      case DivergeOrder::Random:
+      default:
+        keep_taken = rng_.chance(0.5f);
+        break;
+    }
+
+    const ThreadMask keep = keep_taken ? taken : not_taken;
+    const ThreadMask demote = keep_taken ? not_taken : taken;
+    const std::uint32_t keep_pc = keep_taken ? taken_pc : fallthrough_pc;
+    const std::uint32_t demote_pc = keep_taken ? fallthrough_pc : taken_pc;
+
+    for (unsigned lane : lanesOf(keep))
+        warp.setPc(lane, keep_pc);
+    for (unsigned lane : lanesOf(demote)) {
+        warp.setPc(lane, demote_pc);
+        warp.setState(lane, ThreadState::Ready);
+    }
+    ++stats_.divergentBranches;
+}
+
+bool
+SubwarpUnit::arriveBsync(Warp &warp, BarIndex bar, std::uint32_t sync_pc,
+                         Cycle now)
+{
+    const ThreadMask active = warp.activeMask();
+    const ThreadMask participants = warp.barrier(bar) & warp.live();
+    const ThreadMask others = participants - active;
+
+    // Successful BSYNC: every other participant is blocked *on this
+    // barrier* (or dead). A thread blocked on a different barrier has
+    // not arrived here.
+    bool all_arrived = true;
+    for (unsigned lane : lanesOf(others)) {
+        if (warp.state(lane) != ThreadState::Blocked ||
+            warp.blockedOn(lane) != bar) {
+            all_arrived = false;
+            break;
+        }
+    }
+
+    if (all_arrived) {
+        for (unsigned lane : lanesOf(participants)) {
+            warp.setState(lane, ThreadState::Active);
+            warp.setBlockedOn(lane, barNone);
+            warp.setPc(lane, sync_pc + 1);
+        }
+        // Lanes that executed this BSYNC without having registered in
+        // the barrier (legal for degenerate codegen) also continue.
+        for (unsigned lane : lanesOf(active - participants)) {
+            warp.setPc(lane, sync_pc + 1);
+        }
+        warp.setBarrier(bar, ThreadMask());
+        ++stats_.reconvergences;
+        return true;
+    }
+
+    // Unsuccessful BSYNC: block and hand the slot to a READY subwarp.
+    for (unsigned lane : lanesOf(active)) {
+        warp.setState(lane, ThreadState::Blocked);
+        warp.setBlockedOn(lane, bar);
+    }
+    select(warp, now);
+    return false;
+}
+
+void
+SubwarpUnit::releaseBarrier(Warp &warp, BarIndex bar)
+{
+    const ThreadMask blocked = warp.barrier(bar) & warp.live();
+    for (unsigned lane : lanesOf(blocked)) {
+        warp.setState(lane, ThreadState::Active);
+        warp.setBlockedOn(lane, barNone);
+        warp.setPc(lane, warp.pc(lane) + 1);
+    }
+    warp.setBarrier(bar, ThreadMask());
+    ++stats_.barrierReleasesOnExit;
+}
+
+void
+SubwarpUnit::exitLanes(Warp &warp, ThreadMask kill, Cycle now)
+{
+    const ThreadMask exiting = kill & warp.activeMask();
+    for (unsigned lane : lanesOf(exiting))
+        warp.setState(lane, ThreadState::Inactive);
+    warp.killLanes(exiting);
+
+    if (warp.done())
+        return;
+
+    // A barrier whose surviving participants are all blocked can never
+    // be completed by an arriving subwarp — release it now.
+    for (BarIndex b = 0; b < Warp::numBarriers; ++b) {
+        const ThreadMask parts = warp.barrier(b) & warp.live();
+        if (parts.empty())
+            continue;
+        bool all_blocked = true;
+        for (unsigned lane : lanesOf(parts)) {
+            if (warp.state(lane) != ThreadState::Blocked ||
+                warp.blockedOn(lane) != b) {
+                all_blocked = false;
+                break;
+            }
+        }
+        if (all_blocked)
+            releaseBarrier(warp, b);
+    }
+
+    if (warp.activeMask().empty())
+        select(warp, now);
+}
+
+bool
+SubwarpUnit::subwarpStall(Warp &warp, std::uint8_t req_mask, Cycle now)
+{
+    if (!config_.siEnabled)
+        return false;
+
+    const ThreadMask active = warp.activeMask();
+    panic_if(active.empty(), "subwarp-stall with no active subwarp");
+    if (warp.readySubwarps().empty())
+        return false;
+
+    // Binning limit: a demotion needs a free TST entry.
+    auto &tst = warp.tst();
+    if (tst.size() < config_.maxSubwarps)
+        tst.resize(config_.maxSubwarps);
+    TstEntry *entry = nullptr;
+    for (auto &e : tst) {
+        if (!e.valid) {
+            entry = &e;
+            break;
+        }
+    }
+    if (!entry) {
+        ++stats_.stallDemotionsDeniedTstFull;
+        return false;
+    }
+
+    const ScoreboardFile &sb = warp.scoreboards();
+    entry->valid = true;
+    entry->members = active;
+    entry->pc = warp.activePc();
+    entry->sbId = sb.firstBlocking(active, req_mask);
+    entry->sbCount = entry->sbId == sbNone
+                         ? 0
+                         : sb.maxCount(active, entry->sbId);
+    panic_if(entry->sbId == sbNone,
+             "subwarp-stall but no scoreboard is blocking");
+
+    for (unsigned lane : lanesOf(active))
+        warp.setState(lane, ThreadState::Stalled);
+    ++stats_.subwarpStalls;
+
+    select(warp, now);
+    return true;
+}
+
+bool
+SubwarpUnit::subwarpYield(Warp &warp, Cycle now)
+{
+    if (!config_.siEnabled || !config_.yieldEnabled)
+        return false;
+
+    const ThreadMask active = warp.activeMask();
+    panic_if(active.empty(), "subwarp-yield with no active subwarp");
+
+    // Yield is only profitable when a *different* subwarp can take over;
+    // otherwise selection would fall straight back to us (paper III-B).
+    const std::uint32_t yielded_pc = warp.activePc();
+    bool have_other = false;
+    for (const auto &g : warp.readySubwarps()) {
+        if (g.first != yielded_pc) {
+            have_other = true;
+            break;
+        }
+    }
+    if (!have_other)
+        return false;
+
+    for (unsigned lane : lanesOf(active))
+        warp.setState(lane, ThreadState::Ready);
+    ++stats_.subwarpYields;
+
+    if (!select(warp, now, yielded_pc)) {
+        // Unreachable given the pre-check, but keep the warp runnable.
+        for (unsigned lane : lanesOf(active))
+            warp.setState(lane, ThreadState::Active);
+        return false;
+    }
+    return true;
+}
+
+void
+SubwarpUnit::wakeup(Warp &warp, SbIndex sb)
+{
+    const ScoreboardFile &sbf = warp.scoreboards();
+    for (auto &entry : warp.tst()) {
+        if (!entry.valid || entry.sbId != sb)
+            continue;
+        if (entry.sbCount > 0)
+            --entry.sbCount;
+        // The recorded count is the hardware mechanism; the replicated
+        // per-thread counters are the ground truth, and the two agree
+        // because writebacks are broadcast exactly once per decrement.
+        if (sbf.ready(entry.members & warp.live(),
+                      std::uint8_t(1u << entry.sbId))) {
+            for (unsigned lane : lanesOf(entry.members & warp.live())) {
+                if (warp.state(lane) == ThreadState::Stalled)
+                    warp.setState(lane, ThreadState::Ready);
+            }
+            entry.valid = false;
+            ++stats_.subwarpWakeups;
+        }
+    }
+}
+
+bool
+SubwarpUnit::select(Warp &warp, Cycle now, std::uint32_t avoid_pc)
+{
+    if (warp.activeMask().any())
+        return false;
+
+    auto groups = warp.readySubwarps();
+    if (groups.empty())
+        return false;
+
+    // Round-robin across PCs: first group with pc > cursor, else the
+    // lowest-pc group; groups at avoid_pc are skipped unless they are
+    // the only choice.
+    auto eligible = [&](const auto &g) { return g.first != avoid_pc; };
+
+    const std::pair<std::uint32_t, ThreadMask> *chosen = nullptr;
+    for (const auto &g : groups) {
+        if (g.first > warp.selectCursor && eligible(g)) {
+            chosen = &g;
+            break;
+        }
+    }
+    if (!chosen) {
+        for (const auto &g : groups) {
+            if (eligible(g)) {
+                chosen = &g;
+                break;
+            }
+        }
+    }
+    if (!chosen)
+        chosen = &groups.front();
+
+    for (unsigned lane : lanesOf(chosen->second))
+        warp.setState(lane, ThreadState::Active);
+    warp.selectCursor = chosen->first;
+    warp.longOpsSinceSwitch = 0;
+    warp.issueReadyAt = std::max(warp.issueReadyAt,
+                                 now + config_.switchLatency);
+    warp.inFetchStall = false;
+    ++stats_.subwarpSelects;
+    return true;
+}
+
+} // namespace si

@@ -1,0 +1,68 @@
+#include "core/warp.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace si {
+
+Warp::Warp(unsigned id, unsigned pb, const Program *program,
+           unsigned num_threads)
+    : id_(id), pb_(pb), program_(program)
+{
+    panic_if(program == nullptr, "warp created without a program");
+    panic_if(num_threads == 0 || num_threads > warpSize,
+             "warp %u: bad thread count %u", id, num_threads);
+
+    regs_.assign(std::size_t(program->numRegs()) * warpSize, 0);
+    blockedOn_.fill(barNone);
+    live_ = ThreadMask::firstN(num_threads);
+    for (unsigned lane = 0; lane < warpSize; ++lane) {
+        state_[lane] = live_.test(lane) ? ThreadState::Active
+                                        : ThreadState::Inactive;
+        pc_[lane] = 0;
+    }
+}
+
+ThreadMask
+Warp::lanesInState(ThreadState s) const
+{
+    ThreadMask m;
+    for (unsigned lane : lanesOf(live_)) {
+        if (state_[lane] == s)
+            m.set(lane);
+    }
+    return m;
+}
+
+std::vector<std::pair<std::uint32_t, ThreadMask>>
+Warp::readySubwarps() const
+{
+    std::vector<std::pair<std::uint32_t, ThreadMask>> groups;
+    ThreadMask ready = lanesInState(ThreadState::Ready);
+    for (unsigned lane : lanesOf(ready)) {
+        const std::uint32_t lane_pc = pc_[lane];
+        auto it = std::find_if(groups.begin(), groups.end(),
+                               [&](const auto &g) {
+                                   return g.first == lane_pc;
+                               });
+        if (it == groups.end())
+            groups.emplace_back(lane_pc, ThreadMask::lane(lane));
+        else
+            it->second.set(lane);
+    }
+    std::sort(groups.begin(), groups.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    return groups;
+}
+
+unsigned
+Warp::tstOccupancy() const
+{
+    unsigned n = 0;
+    for (const auto &e : tst_)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace si

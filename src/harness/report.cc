@@ -1,0 +1,75 @@
+#include "harness/report.hh"
+
+#include "common/stats.hh"
+
+namespace si {
+
+std::string
+statsReport(const std::string &name, const SmStats &s,
+            std::uint64_t norm_cycles)
+{
+    const std::uint64_t norm = norm_cycles ? norm_cycles : s.cycles;
+    StatGroup g(name);
+    g.scalar("cycles") = s.cycles;
+    g.scalar("instrs_issued") = s.instrsIssued;
+    g.scalar("warps_retired") = s.warpsRetired;
+    g.scalar("no_issue_cycles") = s.noIssueCycles;
+    g.scalar("exposed_load_stall_cycles") = s.exposedLoadStallCycles;
+    g.scalar("exposed_fetch_stall_cycles") = s.exposedFetchStallCycles;
+    g.scalar("warp_scoreboard_stall_cycles") =
+        s.warpScoreboardStallCycles;
+    g.scalar("warp_pipe_stall_cycles") = s.warpPipeStallCycles;
+    g.scalar("warp_fetch_stall_cycles") = s.warpFetchStallCycles;
+    g.scalar("warp_switch_cycles") = s.warpSwitchCycles;
+    g.scalar("ldg_issued") = s.ldgIssued;
+    g.scalar("gmem_transactions") = s.gmemTransactions;
+    g.scalar("tex_issued") = s.texIssued;
+    g.scalar("rt_queries_issued") = s.rtQueriesIssued;
+    g.scalar("stg_issued") = s.stgIssued;
+    g.scalar("divergent_branches") = s.divergentBranches;
+    g.scalar("reconvergences") = s.reconvergences;
+    g.scalar("subwarp_selects") = s.subwarpSelects;
+    g.scalar("subwarp_stalls") = s.subwarpStalls;
+    g.scalar("subwarp_wakeups") = s.subwarpWakeups;
+    g.scalar("subwarp_yields") = s.subwarpYields;
+    g.scalar("tst_full_denials") = s.tstFullDenials;
+    g.scalar("l1d_hits") = s.l1dHits;
+    g.scalar("l1d_misses") = s.l1dMisses;
+    g.scalar("l1i_hits") = s.l1iHits;
+    g.scalar("l1i_misses") = s.l1iMisses;
+    g.scalar("l0i_hits") = s.l0iHits;
+    g.scalar("l0i_misses") = s.l0iMisses;
+
+    g.formula("ipc", [&s]() {
+        return s.cycles ? double(s.instrsIssued) / double(s.cycles) : 0.0;
+    });
+    g.formula("exposed_stall_frac", [&s, norm]() {
+        return norm ? double(s.exposedLoadStallCycles) / double(norm)
+                    : 0.0;
+    });
+    g.formula("exposed_stall_frac_divergent", [&s, norm]() {
+        return norm ? s.exposedLoadStallCyclesDivergent / double(norm)
+                    : 0.0;
+    });
+    g.formula("l1d_miss_rate", [&s]() {
+        const double total = double(s.l1dHits + s.l1dMisses);
+        return total > 0 ? double(s.l1dMisses) / total : 0.0;
+    });
+    g.formula("l0i_miss_rate", [&s]() {
+        const double total = double(s.l0iHits + s.l0iMisses);
+        return total > 0 ? double(s.l0iMisses) / total : 0.0;
+    });
+    return g.dump();
+}
+
+std::string
+statsReport(const GpuResult &result)
+{
+    std::string out =
+        statsReport("gpu", result.total, result.smCycleSum());
+    for (std::size_t i = 0; i < result.perSm.size(); ++i)
+        out += statsReport("sm" + std::to_string(i), result.perSm[i]);
+    return out;
+}
+
+} // namespace si

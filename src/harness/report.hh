@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Human-readable statistics reports built on the stats package:
+ * renders a GpuResult as a gem5-style "stat value" listing, per SM and
+ * aggregated.
+ */
+
+#ifndef SI_HARNESS_REPORT_HH
+#define SI_HARNESS_REPORT_HH
+
+#include <string>
+
+#include "core/gpu.hh"
+
+namespace si {
+
+/**
+ * Render every counter of @p stats under the group name @p name.
+ * @p norm_cycles overrides the denominator of the fraction formulas
+ * (needed for aggregates, whose counters sum over SMs while cycles is
+ * the max); 0 uses stats.cycles.
+ */
+std::string statsReport(const std::string &name, const SmStats &stats,
+                        std::uint64_t norm_cycles = 0);
+
+/** Render the aggregate and per-SM statistics of a run. */
+std::string statsReport(const GpuResult &result);
+
+} // namespace si
+
+#endif // SI_HARNESS_REPORT_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * TablePrinter: aligned text tables for the benchmark harness, so each
+ * bench binary prints the same rows/series the paper's tables and
+ * figures report.
+ */
+
+#ifndef SI_HARNESS_TABLE_HH
+#define SI_HARNESS_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace si {
+
+/** Build and render a fixed-column text table. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::string title);
+
+    /** Set the column headers (defines the column count). */
+    void header(std::vector<std::string> columns);
+
+    /** Append a row; must match the header's column count. */
+    void row(std::vector<std::string> cells);
+
+    /** Format helper: fixed-point with @p decimals digits. */
+    static std::string num(double value, int decimals = 2);
+
+    /** Format helper: "x.y%" percentage. */
+    static std::string pct(double value, int decimals = 1);
+
+    /** Render the table. */
+    std::string render() const;
+
+    /** Render to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace si
+
+#endif // SI_HARNESS_TABLE_HH

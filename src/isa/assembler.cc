@@ -1,0 +1,520 @@
+#include "isa/assembler.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace si {
+
+namespace {
+
+/** Split a line into tokens; commas are separators, brackets kept. */
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> toks;
+    std::string cur;
+    auto flush = [&]() {
+        if (!cur.empty()) {
+            toks.push_back(cur);
+            cur.clear();
+        }
+    };
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        char c = line[i];
+        if (c == ';' || (c == '/' && i + 1 < line.size() &&
+                         line[i + 1] == '/')) {
+            break; // comment
+        }
+        if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+            flush();
+        } else if (c == '[' || c == ']') {
+            flush();
+            toks.push_back(std::string(1, c));
+        } else {
+            cur += c;
+        }
+    }
+    flush();
+    return toks;
+}
+
+bool
+parseInt(const std::string &s, std::int32_t &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    long v = std::strtol(s.c_str(), &end, 0);
+    if (end != s.c_str() + s.size())
+        return false;
+    out = std::int32_t(v);
+    return true;
+}
+
+bool
+parseFloat(const std::string &s, float &out)
+{
+    if (s.empty())
+        return false;
+    std::string body = s;
+    if (body.back() == 'f' || body.back() == 'F')
+        body.pop_back();
+    char *end = nullptr;
+    out = std::strtof(body.c_str(), &end);
+    return end == body.c_str() + body.size();
+}
+
+bool
+parseReg(const std::string &s, RegIndex &out)
+{
+    if (s == "RZ") {
+        out = regNone;
+        return true;
+    }
+    if (s.size() < 2 || s[0] != 'R')
+        return false;
+    std::int32_t v;
+    if (!parseInt(s.substr(1), v) || v < 0 || v > 254)
+        return false;
+    out = RegIndex(v);
+    return true;
+}
+
+bool
+parsePred(const std::string &s, PredIndex &out)
+{
+    if (s == "PT") {
+        out = predNone;
+        return true;
+    }
+    if (s.size() < 2 || s[0] != 'P')
+        return false;
+    std::int32_t v;
+    if (!parseInt(s.substr(1), v) || v < 0 || v > 6)
+        return false;
+    out = PredIndex(v);
+    return true;
+}
+
+bool
+parseBar(const std::string &s, BarIndex &out)
+{
+    if (s.size() < 2 || s[0] != 'B')
+        return false;
+    std::int32_t v;
+    if (!parseInt(s.substr(1), v) || v < 0 || v > 15)
+        return false;
+    out = BarIndex(v);
+    return true;
+}
+
+std::optional<CmpOp>
+parseCmp(const std::string &s)
+{
+    if (s == "LT") return CmpOp::LT;
+    if (s == "LE") return CmpOp::LE;
+    if (s == "GT") return CmpOp::GT;
+    if (s == "GE") return CmpOp::GE;
+    if (s == "EQ") return CmpOp::EQ;
+    if (s == "NE") return CmpOp::NE;
+    return std::nullopt;
+}
+
+std::optional<SReg>
+parseSReg(const std::string &s)
+{
+    if (s == "TID") return SReg::TID;
+    if (s == "CTAID") return SReg::CTAID;
+    if (s == "LANEID") return SReg::LANEID;
+    if (s == "WARPID") return SReg::WARPID;
+    return std::nullopt;
+}
+
+std::optional<Opcode>
+parseOpcode(const std::string &s)
+{
+    static const std::map<std::string, Opcode> table = {
+        {"NOP", Opcode::NOP},       {"MOV", Opcode::MOV},
+        {"S2R", Opcode::S2R},       {"IADD", Opcode::IADD},
+        {"ISUB", Opcode::ISUB},     {"IMUL", Opcode::IMUL},
+        {"IMAD", Opcode::IMAD},     {"IMIN", Opcode::IMIN},
+        {"IMAX", Opcode::IMAX},     {"AND", Opcode::AND},
+        {"OR", Opcode::OR},         {"XOR", Opcode::XOR},
+        {"SHL", Opcode::SHL},       {"SHR", Opcode::SHR},
+        {"FADD", Opcode::FADD},     {"FMUL", Opcode::FMUL},
+        {"FFMA", Opcode::FFMA},     {"FMIN", Opcode::FMIN},
+        {"FMAX", Opcode::FMAX},     {"FRCP", Opcode::FRCP},
+        {"FSQRT", Opcode::FSQRT},   {"I2F", Opcode::I2F},
+        {"F2I", Opcode::F2I},       {"ISETP", Opcode::ISETP},
+        {"FSETP", Opcode::FSETP},   {"SEL", Opcode::SEL},
+        {"LDG", Opcode::LDG},       {"STG", Opcode::STG},
+        {"LDC", Opcode::LDC},       {"TEX", Opcode::TEX},
+        {"TLD", Opcode::TLD},       {"RTQUERY", Opcode::RTQUERY},
+        {"BRA", Opcode::BRA},       {"BSSY", Opcode::BSSY},
+        {"BSYNC", Opcode::BSYNC},   {"YIELD", Opcode::YIELD},
+        {"EXIT", Opcode::EXIT},
+    };
+    auto it = table.find(s);
+    if (it == table.end())
+        return std::nullopt;
+    return it->second;
+}
+
+/** Pending label reference: instruction pc awaiting label resolution. */
+struct Fixup
+{
+    std::uint32_t pc;
+    std::string label;
+    int line;
+};
+
+} // namespace
+
+AsmResult
+assemble(const std::string &source)
+{
+    AsmResult res;
+    std::vector<Instr> instrs;
+    std::map<std::string, std::uint32_t> labels;
+    std::vector<Fixup> fixups;
+    std::string kernel_name = "asm_kernel";
+    unsigned num_regs = 32;
+
+    auto fail = [&](int line, const std::string &msg) {
+        res.ok = false;
+        res.error = "line " + std::to_string(line) + ": " + msg;
+        return res;
+    };
+
+    std::istringstream in(source);
+    std::string raw;
+    int line_no = 0;
+    while (std::getline(in, raw)) {
+        ++line_no;
+        auto toks = tokenize(raw);
+        if (toks.empty())
+            continue;
+
+        // Directives.
+        if (toks[0] == ".kernel") {
+            if (toks.size() != 2)
+                return fail(line_no, ".kernel expects a name");
+            kernel_name = toks[1];
+            continue;
+        }
+        if (toks[0] == ".regs") {
+            std::int32_t v;
+            if (toks.size() != 2 || !parseInt(toks[1], v) || v < 1 ||
+                v > 255) {
+                return fail(line_no, ".regs expects 1..255");
+            }
+            num_regs = unsigned(v);
+            continue;
+        }
+
+        // Label definitions (possibly followed by an instruction).
+        std::size_t ti = 0;
+        while (ti < toks.size() && toks[ti].back() == ':') {
+            std::string name = toks[ti].substr(0, toks[ti].size() - 1);
+            if (name.empty())
+                return fail(line_no, "empty label");
+            if (labels.count(name))
+                return fail(line_no, "label '" + name + "' redefined");
+            labels[name] = std::uint32_t(instrs.size());
+            ++ti;
+        }
+        if (ti >= toks.size())
+            continue;
+
+        Instr ins;
+
+        // Guard predicate @Pn / @!Pn.
+        if (toks[ti][0] == '@') {
+            std::string p = toks[ti].substr(1);
+            if (!p.empty() && p[0] == '!') {
+                ins.guardNeg = true;
+                p = p.substr(1);
+            }
+            if (!parsePred(p, ins.guard))
+                return fail(line_no, "bad guard predicate");
+            ++ti;
+            if (ti >= toks.size())
+                return fail(line_no, "guard with no instruction");
+        }
+
+        // Mnemonic, with optional .CMP suffix.
+        std::string mnem = toks[ti++];
+        std::optional<CmpOp> cmp;
+        if (auto dot = mnem.find('.'); dot != std::string::npos) {
+            cmp = parseCmp(mnem.substr(dot + 1));
+            if (!cmp)
+                return fail(line_no, "bad compare suffix on " + mnem);
+            mnem = mnem.substr(0, dot);
+        }
+        auto op = parseOpcode(mnem);
+        if (!op)
+            return fail(line_no, "unknown mnemonic '" + mnem + "'");
+        ins.op = *op;
+        if (cmp)
+            ins.cmp = *cmp;
+
+        // Collect scoreboard annotations from the tail.
+        std::vector<std::string> ops(toks.begin() + ti, toks.end());
+        while (!ops.empty() && ops.back().rfind("&", 0) == 0) {
+            const std::string &ann = ops.back();
+            std::int32_t id;
+            if (ann.rfind("&wr=sb", 0) == 0 &&
+                parseInt(ann.substr(6), id) && id >= 0 && id < 8) {
+                ins.wrSb = SbIndex(id);
+            } else if (ann.rfind("&req=sb", 0) == 0 &&
+                       parseInt(ann.substr(7), id) && id >= 0 && id < 8) {
+                ins.reqSbMask |= std::uint8_t(1u << id);
+            } else if (ann == "&hint=taken") {
+                ins.stallHint = 1;
+            } else if (ann == "&hint=fall") {
+                ins.stallHint = -1;
+            } else {
+                return fail(line_no, "bad annotation '" + ann + "'");
+            }
+            ops.pop_back();
+        }
+
+        // Helper lambdas over the operand list.
+        auto need = [&](std::size_t n) { return ops.size() == n; };
+        auto reg = [&](std::size_t i, RegIndex &r) {
+            return i < ops.size() && parseReg(ops[i], r);
+        };
+
+        // Accept either a register or an immediate (int or float) in
+        // the B-operand slot.
+        auto reg_or_imm = [&](std::size_t i, bool flt) {
+            if (i >= ops.size())
+                return false;
+            if (parseReg(ops[i], ins.srcB))
+                return true;
+            std::int32_t iv;
+            float fv;
+            if (!flt && parseInt(ops[i], iv)) {
+                ins.bImm = true;
+                ins.imm = iv;
+                return true;
+            }
+            if (flt && parseFloat(ops[i], fv)) {
+                ins.bImm = true;
+                ins.imm = Instr::fbits(fv);
+                return true;
+            }
+            // Integer immediates are permitted in float ops too
+            // (e.g. FMUL R1, R2, 2 means 2.0f).
+            if (flt && parseInt(ops[i], iv)) {
+                ins.bImm = true;
+                ins.imm = Instr::fbits(float(iv));
+                return true;
+            }
+            return false;
+        };
+
+        bool bad = false;
+        switch (ins.op) {
+          case Opcode::NOP:
+          case Opcode::YIELD:
+          case Opcode::EXIT:
+            bad = !need(0);
+            break;
+
+          case Opcode::MOV:
+            bad = !need(2) || !reg(0, ins.dst);
+            if (!bad && !parseReg(ops[1], ins.srcA)) {
+                std::int32_t iv;
+                float fv;
+                if (parseInt(ops[1], iv)) {
+                    ins.bImm = true;
+                    ins.imm = iv;
+                } else if (parseFloat(ops[1], fv)) {
+                    ins.bImm = true;
+                    ins.imm = Instr::fbits(fv);
+                } else {
+                    bad = true;
+                }
+            }
+            break;
+
+          case Opcode::S2R: {
+            bad = !need(2) || !reg(0, ins.dst);
+            if (!bad) {
+                auto sr = parseSReg(ops[1]);
+                if (!sr)
+                    bad = true;
+                else
+                    ins.imm = std::int32_t(*sr);
+            }
+            break;
+          }
+
+          case Opcode::FRCP:
+          case Opcode::FSQRT:
+          case Opcode::I2F:
+          case Opcode::F2I:
+            bad = !need(2) || !reg(0, ins.dst) || !reg(1, ins.srcA);
+            break;
+
+          case Opcode::IMAD:
+          case Opcode::FFMA:
+            bad = !need(4) || !reg(0, ins.dst) || !reg(1, ins.srcA) ||
+                  !reg_or_imm(2, ins.op == Opcode::FFMA) ||
+                  !reg(3, ins.srcC);
+            break;
+
+          case Opcode::ISETP:
+          case Opcode::FSETP:
+            bad = !need(3) || !parsePred(ops[0], ins.pdst) ||
+                  !reg(1, ins.srcA) ||
+                  !reg_or_imm(2, ins.op == Opcode::FSETP);
+            break;
+
+          case Opcode::SEL:
+            bad = !need(4) || !reg(0, ins.dst) || !reg(1, ins.srcA) ||
+                  !reg_or_imm(2, false) || !parsePred(ops[3], ins.pdst);
+            break;
+
+          case Opcode::LDG:
+          case Opcode::STG: {
+            // LDG Rd [ Rn + off ]  /  STG [ Rn + off ] Rs
+            // tokenizer splits brackets, so expect: for LDG:
+            //   Rd, '[', Rn(+off)?, ']'
+            std::vector<std::string> mem;
+            RegIndex data_reg = regNone;
+            bool seen_bracket = false;
+            for (const auto &t : ops) {
+                if (t == "[") {
+                    seen_bracket = true;
+                } else if (t == "]") {
+                    // done
+                } else if (seen_bracket && mem.empty()) {
+                    mem.push_back(t);
+                } else if (data_reg == regNone && parseReg(t, data_reg)) {
+                    // data operand
+                } else {
+                    bad = true;
+                }
+            }
+            if (mem.empty())
+                bad = true;
+            if (!bad) {
+                // Parse Rn, Rn+imm, or bare imm.
+                const std::string &m = mem[0];
+                auto plus = m.find('+');
+                std::string base = m.substr(0, plus);
+                ins.imm = 0;
+                if (plus != std::string::npos) {
+                    if (!parseInt(m.substr(plus + 1), ins.imm))
+                        bad = true;
+                }
+                if (!parseReg(base, ins.srcA)) {
+                    std::int32_t abs_addr;
+                    if (plus == std::string::npos &&
+                        parseInt(base, abs_addr)) {
+                        ins.srcA = regNone;
+                        ins.imm = abs_addr;
+                    } else {
+                        bad = true;
+                    }
+                }
+            }
+            if (!bad) {
+                if (ins.op == Opcode::LDG)
+                    ins.dst = data_reg;
+                else
+                    ins.srcB = data_reg;
+            }
+            break;
+          }
+
+          case Opcode::LDC: {
+            // LDC Rd, c[imm] — the tokenizer splits brackets, so the
+            // operand arrives as: Rd, "c", "[", imm, "]".
+            bad = !need(5) || !reg(0, ins.dst) || ops[1] != "c" ||
+                  ops[2] != "[" || ops[4] != "]" ||
+                  !parseInt(ops[3], ins.imm);
+            break;
+          }
+
+          case Opcode::TEX:
+          case Opcode::TLD:
+            bad = !need(3) || !reg(0, ins.dst) || !reg(1, ins.srcA) ||
+                  !reg(2, ins.srcB);
+            break;
+
+          case Opcode::RTQUERY:
+            bad = !need(2) || !reg(0, ins.dst) || !reg(1, ins.srcA);
+            break;
+
+          case Opcode::BRA:
+            bad = !need(1);
+            if (!bad)
+                fixups.push_back({std::uint32_t(instrs.size()), ops[0],
+                                  line_no});
+            break;
+
+          case Opcode::BSSY:
+            bad = !need(2) || !parseBar(ops[0], ins.bar);
+            if (!bad)
+                fixups.push_back({std::uint32_t(instrs.size()), ops[1],
+                                  line_no});
+            break;
+
+          case Opcode::BSYNC:
+            bad = !need(1) || !parseBar(ops[0], ins.bar);
+            break;
+
+          default:
+            // Generic 3-operand ALU.
+            bad = !need(3) || !reg(0, ins.dst) || !reg(1, ins.srcA) ||
+                  !reg_or_imm(2, opClassOf(ins.op) == OpClass::Alu &&
+                                     (ins.op == Opcode::FADD ||
+                                      ins.op == Opcode::FMUL ||
+                                      ins.op == Opcode::FMIN ||
+                                      ins.op == Opcode::FMAX));
+            break;
+        }
+
+        if (bad)
+            return fail(line_no, "malformed operands for " + mnem);
+        instrs.push_back(ins);
+    }
+
+    for (const auto &f : fixups) {
+        auto it = labels.find(f.label);
+        if (it == labels.end())
+            return fail(f.line, "undefined label '" + f.label + "'");
+        instrs[f.pc].target = it->second;
+    }
+
+    Program prog(kernel_name, std::move(instrs), num_regs);
+    prog.setLabels(std::move(labels));
+    std::string err = prog.check();
+    if (!err.empty()) {
+        res.ok = false;
+        res.error = err;
+        return res;
+    }
+    res.ok = true;
+    res.program = std::move(prog);
+    return res;
+}
+
+Program
+assembleOrDie(const std::string &source)
+{
+    AsmResult r = assemble(source);
+    fatal_if(!r.ok, "assembly failed: %s", r.error.c_str());
+    return std::move(r.program);
+}
+
+} // namespace si

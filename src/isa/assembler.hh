@@ -1,0 +1,43 @@
+/**
+ * @file
+ * A small text assembler for the SASS-like ISA, accepting the paper's
+ * Figure 9 notation including &wr=sbN / &req=sbN scoreboard annotations.
+ *
+ * Grammar sketch (one instruction per line, ';' or '//' start comments):
+ *
+ *   .kernel <name>          — optional, names the program
+ *   .regs <n>               — per-thread register count (default 32)
+ *   label:                  — binds a label
+ *   [@[!]Pn] MNEMONIC operands [&wr=sbN] [&req=sbN]...
+ *
+ * Operands: Rn, RZ, Pn, Bn, immediates (42, -7, 1.5f), [Rn+imm] memory
+ * refs, c[imm] constants, SRnames (TID, CTAID, LANEID, WARPID), labels.
+ * Compare ops are suffixes: ISETP.LT P0, R1, R2.
+ */
+
+#ifndef SI_ISA_ASSEMBLER_HH
+#define SI_ISA_ASSEMBLER_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace si {
+
+/** Result of assembling a source string. */
+struct AsmResult
+{
+    bool ok = false;
+    std::string error;   ///< message with line number when !ok
+    Program program;     ///< valid only when ok
+};
+
+/** Assemble @p source into a Program. Never exits; errors are returned. */
+AsmResult assemble(const std::string &source);
+
+/** Assemble or die — convenience for tests and generators. */
+Program assembleOrDie(const std::string &source);
+
+} // namespace si
+
+#endif // SI_ISA_ASSEMBLER_HH

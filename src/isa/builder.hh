@@ -1,0 +1,134 @@
+/**
+ * @file
+ * KernelBuilder: programmatic construction of Programs with forward label
+ * references. The megakernel and microbenchmark generators are built on
+ * this; tests use it for hand-rolled kernels.
+ */
+
+#ifndef SI_ISA_BUILDER_HH
+#define SI_ISA_BUILDER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace si {
+
+/** Opaque forward-referenceable code label. */
+class Label
+{
+  public:
+    Label() = default;
+
+  private:
+    friend class KernelBuilder;
+    explicit Label(std::uint32_t id) : id_(id), valid_(true) {}
+    std::uint32_t id_ = 0;
+    bool valid_ = false;
+};
+
+/**
+ * Fluent kernel assembler. Emitters return Instr& so call sites can chain
+ * scoreboard/predicate annotations:
+ *
+ *   kb.ldg(r_val, r_addr, 0).wr(2);
+ *   kb.fadd(r_acc, r_acc, r_val).req(2);
+ *   kb.bra(else_label).pred(0, true);
+ */
+class KernelBuilder
+{
+  public:
+    explicit KernelBuilder(std::string name);
+
+    // ---- labels ----
+
+    /** Create a new unbound label, optionally named for disassembly. */
+    Label newLabel(const std::string &name = "");
+
+    /** Bind @p l to the next emitted instruction. */
+    void bind(Label l);
+
+    /** Current pc (index of the next emitted instruction). */
+    std::uint32_t here() const { return std::uint32_t(instrs_.size()); }
+
+    // ---- raw emission ----
+
+    /** Append an arbitrary instruction. */
+    Instr &emit(const Instr &in);
+
+    // ---- movement ----
+    Instr &mov(RegIndex d, RegIndex a);
+    Instr &movi(RegIndex d, std::int32_t imm);
+    Instr &movf(RegIndex d, float imm);
+    Instr &s2r(RegIndex d, SReg sr);
+
+    // ---- integer ----
+    Instr &iadd(RegIndex d, RegIndex a, RegIndex b);
+    Instr &iaddi(RegIndex d, RegIndex a, std::int32_t imm);
+    Instr &isub(RegIndex d, RegIndex a, RegIndex b);
+    Instr &imul(RegIndex d, RegIndex a, RegIndex b);
+    Instr &imuli(RegIndex d, RegIndex a, std::int32_t imm);
+    Instr &imad(RegIndex d, RegIndex a, RegIndex b, RegIndex c);
+    Instr &imadi(RegIndex d, RegIndex a, std::int32_t imm, RegIndex c);
+    Instr &andi(RegIndex d, RegIndex a, std::int32_t imm);
+    Instr &xorr(RegIndex d, RegIndex a, RegIndex b);
+    Instr &shli(RegIndex d, RegIndex a, std::int32_t imm);
+    Instr &shri(RegIndex d, RegIndex a, std::int32_t imm);
+
+    // ---- float ----
+    Instr &fadd(RegIndex d, RegIndex a, RegIndex b);
+    Instr &faddi(RegIndex d, RegIndex a, float imm);
+    Instr &fmul(RegIndex d, RegIndex a, RegIndex b);
+    Instr &fmuli(RegIndex d, RegIndex a, float imm);
+    Instr &ffma(RegIndex d, RegIndex a, RegIndex b, RegIndex c);
+    Instr &frcp(RegIndex d, RegIndex a);
+    Instr &fsqrt(RegIndex d, RegIndex a);
+    Instr &i2f(RegIndex d, RegIndex a);
+    Instr &f2i(RegIndex d, RegIndex a);
+
+    // ---- predicates ----
+    Instr &isetp(PredIndex pd, CmpOp cmp, RegIndex a, RegIndex b);
+    Instr &isetpi(PredIndex pd, CmpOp cmp, RegIndex a, std::int32_t imm);
+    Instr &fsetp(PredIndex pd, CmpOp cmp, RegIndex a, RegIndex b);
+    Instr &fsetpi(PredIndex pd, CmpOp cmp, RegIndex a, float imm);
+    Instr &sel(RegIndex d, RegIndex a, RegIndex b, PredIndex p);
+
+    // ---- memory ----
+    Instr &ldg(RegIndex d, RegIndex addr, std::int32_t offset);
+    Instr &stg(RegIndex addr, std::int32_t offset, RegIndex val);
+    Instr &ldc(RegIndex d, std::int32_t offset);
+    Instr &tex(RegIndex d, RegIndex u, RegIndex v);
+    Instr &tld(RegIndex d, RegIndex u, RegIndex v);
+    Instr &rtquery(RegIndex d, RegIndex ray_base);
+
+    // ---- control ----
+    Instr &bra(Label target);
+    Instr &bssy(BarIndex b, Label conv_point);
+    Instr &bsync(BarIndex b);
+    Instr &yield();
+    Instr &exit();
+    Instr &nop();
+
+    /**
+     * Finish: resolve labels, validate, and produce the Program.
+     * @p num_regs is the per-thread register demand used for occupancy.
+     */
+    Program build(unsigned num_regs);
+
+  private:
+    Instr &push(Instr in);
+
+    std::string name_;
+    std::vector<Instr> instrs_;
+    /** label id -> bound pc (invalidCycle-like sentinel when unbound). */
+    std::vector<std::uint32_t> labelPc_;
+    std::vector<std::string> labelName_;
+    /** pc -> label id, for instructions awaiting resolution. */
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> fixups_;
+};
+
+} // namespace si
+
+#endif // SI_ISA_BUILDER_HH

@@ -1,0 +1,256 @@
+#include "isa/instr.hh"
+
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace si {
+
+OpClass
+opClassOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::IMUL:
+      case Opcode::IMAD:
+      case Opcode::FFMA:
+        return OpClass::HeavyAlu;
+      case Opcode::FRCP:
+      case Opcode::FSQRT:
+        return OpClass::Transcendental;
+      case Opcode::LDC:
+        return OpClass::ConstLoad;
+      case Opcode::LDG:
+        return OpClass::GlobalLoad;
+      case Opcode::STG:
+        return OpClass::Store;
+      case Opcode::TEX:
+      case Opcode::TLD:
+        return OpClass::Texture;
+      case Opcode::RTQUERY:
+        return OpClass::RtQuery;
+      case Opcode::NOP:
+      case Opcode::BRA:
+      case Opcode::BSSY:
+      case Opcode::BSYNC:
+      case Opcode::YIELD:
+      case Opcode::EXIT:
+        return OpClass::Control;
+      default:
+        return OpClass::Alu;
+    }
+}
+
+bool
+isLongLatency(Opcode op)
+{
+    switch (opClassOf(op)) {
+      case OpClass::GlobalLoad:
+      case OpClass::Texture:
+      case OpClass::RtQuery:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::NOP: return "NOP";
+      case Opcode::MOV: return "MOV";
+      case Opcode::S2R: return "S2R";
+      case Opcode::IADD: return "IADD";
+      case Opcode::ISUB: return "ISUB";
+      case Opcode::IMUL: return "IMUL";
+      case Opcode::IMAD: return "IMAD";
+      case Opcode::IMIN: return "IMIN";
+      case Opcode::IMAX: return "IMAX";
+      case Opcode::AND: return "AND";
+      case Opcode::OR: return "OR";
+      case Opcode::XOR: return "XOR";
+      case Opcode::SHL: return "SHL";
+      case Opcode::SHR: return "SHR";
+      case Opcode::FADD: return "FADD";
+      case Opcode::FMUL: return "FMUL";
+      case Opcode::FFMA: return "FFMA";
+      case Opcode::FMIN: return "FMIN";
+      case Opcode::FMAX: return "FMAX";
+      case Opcode::FRCP: return "FRCP";
+      case Opcode::FSQRT: return "FSQRT";
+      case Opcode::I2F: return "I2F";
+      case Opcode::F2I: return "F2I";
+      case Opcode::ISETP: return "ISETP";
+      case Opcode::FSETP: return "FSETP";
+      case Opcode::SEL: return "SEL";
+      case Opcode::LDG: return "LDG";
+      case Opcode::STG: return "STG";
+      case Opcode::LDC: return "LDC";
+      case Opcode::TEX: return "TEX";
+      case Opcode::TLD: return "TLD";
+      case Opcode::RTQUERY: return "RTQUERY";
+      case Opcode::BRA: return "BRA";
+      case Opcode::BSSY: return "BSSY";
+      case Opcode::BSYNC: return "BSYNC";
+      case Opcode::YIELD: return "YIELD";
+      case Opcode::EXIT: return "EXIT";
+      default: return "???";
+    }
+}
+
+const char *
+cmpName(CmpOp cmp)
+{
+    switch (cmp) {
+      case CmpOp::LT: return "LT";
+      case CmpOp::LE: return "LE";
+      case CmpOp::GT: return "GT";
+      case CmpOp::GE: return "GE";
+      case CmpOp::EQ: return "EQ";
+      case CmpOp::NE: return "NE";
+      default: return "??";
+    }
+}
+
+std::int32_t
+Instr::fbits(float f)
+{
+    std::int32_t bits;
+    std::memcpy(&bits, &f, sizeof(bits));
+    return bits;
+}
+
+float
+Instr::bitsToFloat(std::int32_t bits)
+{
+    float f;
+    std::memcpy(&f, &bits, sizeof(f));
+    return f;
+}
+
+namespace {
+
+std::string
+regName(RegIndex r)
+{
+    if (r == regNone)
+        return "RZ";
+    return "R" + std::to_string(unsigned(r));
+}
+
+} // namespace
+
+std::string
+Instr::disasm() const
+{
+    std::string out;
+    if (guard != predNone) {
+        out += "@";
+        if (guardNeg)
+            out += "!";
+        out += "P" + std::to_string(unsigned(guard)) + " ";
+    }
+    out += opcodeName(op);
+
+    const bool is_float_imm =
+        op == Opcode::FADD || op == Opcode::FMUL || op == Opcode::FFMA ||
+        op == Opcode::FMIN || op == Opcode::FMAX || op == Opcode::FSETP ||
+        (op == Opcode::MOV && bImm && false);
+
+    auto imm_str = [&]() -> std::string {
+        if (is_float_imm)
+            return std::to_string(bitsToFloat(imm)) + "f";
+        return std::to_string(imm);
+    };
+
+    auto b_str = [&]() -> std::string {
+        return bImm ? imm_str() : regName(srcB);
+    };
+
+    switch (op) {
+      case Opcode::NOP:
+      case Opcode::YIELD:
+      case Opcode::EXIT:
+        break;
+      case Opcode::MOV:
+        out += " " + regName(dst) + ", " +
+               (bImm ? std::to_string(imm) : regName(srcA));
+        break;
+      case Opcode::S2R:
+        out += " " + regName(dst) + ", ";
+        switch (SReg(imm)) {
+          case SReg::TID: out += "TID"; break;
+          case SReg::CTAID: out += "CTAID"; break;
+          case SReg::LANEID: out += "LANEID"; break;
+          case SReg::WARPID: out += "WARPID"; break;
+          default: out += "SR" + std::to_string(imm); break;
+        }
+        break;
+      case Opcode::FRCP:
+      case Opcode::FSQRT:
+      case Opcode::I2F:
+      case Opcode::F2I:
+        out += " " + regName(dst) + ", " + regName(srcA);
+        break;
+      case Opcode::IMAD:
+      case Opcode::FFMA:
+        out += " " + regName(dst) + ", " + regName(srcA) + ", " + b_str() +
+               ", " + regName(srcC);
+        break;
+      case Opcode::ISETP:
+      case Opcode::FSETP:
+        out += "." + std::string(cmpName(cmp)) + " P" +
+               std::to_string(unsigned(pdst)) + ", " + regName(srcA) +
+               ", " + b_str();
+        break;
+      case Opcode::SEL:
+        out += " " + regName(dst) + ", " + regName(srcA) + ", " + b_str();
+        break;
+      case Opcode::LDG:
+        out += " " + regName(dst) + ", [" + regName(srcA) + "+" +
+               std::to_string(imm) + "]";
+        break;
+      case Opcode::STG:
+        out += " [" + regName(srcA) + "+" + std::to_string(imm) + "], " +
+               regName(srcB);
+        break;
+      case Opcode::LDC:
+        out += " " + regName(dst) + ", c[" + std::to_string(imm) + "]";
+        break;
+      case Opcode::TEX:
+      case Opcode::TLD:
+        out += " " + regName(dst) + ", " + regName(srcA) + ", " +
+               regName(srcB);
+        break;
+      case Opcode::RTQUERY:
+        out += " " + regName(dst) + ", " + regName(srcA);
+        break;
+      case Opcode::BRA:
+        out += " " + std::to_string(target);
+        break;
+      case Opcode::BSSY:
+        out += " B" + std::to_string(unsigned(bar)) + ", " +
+               std::to_string(target);
+        break;
+      case Opcode::BSYNC:
+        out += " B" + std::to_string(unsigned(bar));
+        break;
+      default:
+        out += " " + regName(dst) + ", " + regName(srcA) + ", " + b_str();
+        break;
+    }
+
+    if (stallHint > 0)
+        out += " &hint=taken";
+    else if (stallHint < 0)
+        out += " &hint=fall";
+    if (wrSb != sbNone)
+        out += " &wr=sb" + std::to_string(unsigned(wrSb));
+    for (unsigned i = 0; i < 8; ++i) {
+        if (reqSbMask & (1u << i))
+            out += " &req=sb" + std::to_string(i);
+    }
+    return out;
+}
+
+} // namespace si

@@ -1,0 +1,99 @@
+#include "isa/program.hh"
+
+#include "common/log.hh"
+
+namespace si {
+
+Program::Program(std::string name, std::vector<Instr> instrs,
+                 unsigned num_regs)
+    : name_(std::move(name)), instrs_(std::move(instrs)), numRegs_(num_regs)
+{
+}
+
+void
+Program::setLabels(std::map<std::string, std::uint32_t> labels)
+{
+    labels_ = std::move(labels);
+}
+
+std::string
+Program::check() const
+{
+    if (instrs_.empty())
+        return "program is empty";
+    if (numRegs_ == 0 || numRegs_ > 255)
+        return "numRegs out of range";
+
+    bool has_exit = false;
+    for (std::uint32_t pc = 0; pc < instrs_.size(); ++pc) {
+        const Instr &in = instrs_[pc];
+        if (in.op == Opcode::EXIT)
+            has_exit = true;
+
+        if (in.op == Opcode::BRA || in.op == Opcode::BSSY) {
+            if (in.target >= instrs_.size()) {
+                return "pc " + std::to_string(pc) +
+                       ": branch target out of range";
+            }
+        }
+        if ((in.op == Opcode::BSSY || in.op == Opcode::BSYNC) &&
+            in.bar >= 16) {
+            return "pc " + std::to_string(pc) + ": barrier index invalid";
+        }
+
+        auto check_reg = [&](RegIndex r) {
+            return r == regNone || r < numRegs_;
+        };
+        if (!check_reg(in.dst) || !check_reg(in.srcA) ||
+            (!in.bImm && !check_reg(in.srcB)) || !check_reg(in.srcC)) {
+            return "pc " + std::to_string(pc) +
+                   ": register index exceeds numRegs";
+        }
+        if (in.wrSb != sbNone && in.wrSb >= 8)
+            return "pc " + std::to_string(pc) + ": scoreboard id invalid";
+        if (in.wrSb != sbNone && !isLongLatency(in.op))
+            return "pc " + std::to_string(pc) +
+                   ": &wr on a fixed-latency opcode";
+
+        // Falling off the end of the program is a bug in the generator.
+        if (pc + 1 == instrs_.size() && in.op != Opcode::EXIT &&
+            !(in.op == Opcode::BRA && in.guard == predNone)) {
+            return "program does not end in EXIT or an unconditional BRA";
+        }
+    }
+    if (!has_exit)
+        return "program contains no EXIT";
+    return "";
+}
+
+void
+Program::validate() const
+{
+    std::string err = check();
+    fatal_if(!err.empty(), "program '%s' invalid: %s", name_.c_str(),
+             err.c_str());
+}
+
+std::string
+Program::disasm() const
+{
+    // Invert the label map for per-PC annotations.
+    std::map<std::uint32_t, std::string> by_pc;
+    for (const auto &[name, pc] : labels_)
+        by_pc[pc] = name;
+
+    std::string out;
+    for (std::uint32_t pc = 0; pc < instrs_.size(); ++pc) {
+        auto it = by_pc.find(pc);
+        if (it != by_pc.end())
+            out += it->second + ":\n";
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "%5u:  ", pc);
+        out += buf;
+        out += instrs_[pc].disasm();
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace si

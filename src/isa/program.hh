@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Program: an assembled kernel — the instruction vector plus the static
+ * resource requirements that determine occupancy.
+ */
+
+#ifndef SI_ISA_PROGRAM_HH
+#define SI_ISA_PROGRAM_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/instr.hh"
+
+namespace si {
+
+/**
+ * An assembled kernel. PCs are indices into instrs. Instruction
+ * addresses (for the instruction caches) are pc * bytesPerInstr at
+ * a per-program base address.
+ */
+class Program
+{
+  public:
+    /** Encoded size of one instruction in the instruction caches. */
+    static constexpr unsigned bytesPerInstr = 16;
+
+    Program() = default;
+    Program(std::string name, std::vector<Instr> instrs, unsigned num_regs);
+
+    const std::string &name() const { return name_; }
+    const std::vector<Instr> &instrs() const { return instrs_; }
+    const Instr &at(std::uint32_t pc) const { return instrs_[pc]; }
+    std::uint32_t size() const { return std::uint32_t(instrs_.size()); }
+
+    /** Per-thread architectural register demand (drives occupancy). */
+    unsigned numRegs() const { return numRegs_; }
+
+    /** Instruction memory address of @p pc. */
+    Addr
+    instrAddr(std::uint32_t pc) const
+    {
+        return baseAddr_ + Addr(pc) * bytesPerInstr;
+    }
+
+    /** Base address of the kernel's instruction image. */
+    Addr baseAddr() const { return baseAddr_; }
+    void setBaseAddr(Addr a) { baseAddr_ = a; }
+
+    /** Optional label map for nicer disassembly and assembler round trips. */
+    void setLabels(std::map<std::string, std::uint32_t> labels);
+    const std::map<std::string, std::uint32_t> &labels() const
+    {
+        return labels_;
+    }
+
+    /**
+     * Structural validation: branch targets in range, register indices
+     * within numRegs, BSSY/BSYNC barrier indices valid, terminating EXIT
+     * reachable. Calls fatal() on violation, so tests can use
+     * EXPECT_EXIT-free "validate returns" checks via validateOrThrow.
+     */
+    void validate() const;
+
+    /** Like validate() but returns an error string instead of exiting. */
+    std::string check() const;
+
+    /** Full disassembly listing. */
+    std::string disasm() const;
+
+  private:
+    std::string name_;
+    std::vector<Instr> instrs_;
+    unsigned numRegs_ = 32;
+    Addr baseAddr_ = 0x10000000;
+    std::map<std::string, std::uint32_t> labels_;
+};
+
+} // namespace si
+
+#endif // SI_ISA_PROGRAM_HH

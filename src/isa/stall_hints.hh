@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Static stall-probability analysis (the paper's Discussion item 3):
+ * "Future work could explore the use of software hints to convey load
+ * stall probabilities in each divergent path so that hardware can
+ * prefer the higher load stall probability path first and use the
+ * other path for latency tolerance."
+ *
+ * annotateStallHints() walks both sides of every conditional branch,
+ * scores the straight-line stall weight of each path, and records the
+ * comparison in Instr::stallHint. The DivergeOrder::HintStallFirst
+ * policy then keeps the heavier path ACTIVE at divergence.
+ */
+
+#ifndef SI_ISA_STALL_HINTS_HH
+#define SI_ISA_STALL_HINTS_HH
+
+#include "isa/program.hh"
+
+namespace si {
+
+/** Per-branch result of the analysis (exposed for tests/tools). */
+struct StallHintReport
+{
+    unsigned branchesAnalyzed = 0;
+    unsigned branchesHinted = 0; ///< nonzero hint assigned
+};
+
+/**
+ * Analyze @p program and fill in Instr::stallHint on conditional
+ * branches. @p horizon bounds the straight-line walk per path.
+ */
+StallHintReport annotateStallHints(Program &program,
+                                   unsigned horizon = 48);
+
+/**
+ * Straight-line stall weight of the path starting at @p pc: the count
+ * of long-latency consumer edges (&req uses of a scoreboard written
+ * on this path), following fall-through and unconditional branches,
+ * stopping at BSYNC/EXIT/conditional control flow or @p horizon.
+ */
+unsigned pathStallWeight(const Program &program, std::uint32_t pc,
+                         unsigned horizon = 48);
+
+} // namespace si
+
+#endif // SI_ISA_STALL_HINTS_HH

@@ -1,0 +1,86 @@
+#include "mem/cache.hh"
+
+#include <bit>
+
+#include "common/log.hh"
+
+namespace si {
+
+Cache::Cache(const CacheConfig &config) : config_(config)
+{
+    fatal_if(config_.lineBytes == 0 ||
+                 !std::has_single_bit(std::uint64_t(config_.lineBytes)),
+             "cache '%s': line size must be a power of two",
+             config_.name.c_str());
+    fatal_if(config_.assoc == 0, "cache '%s': assoc must be nonzero",
+             config_.name.c_str());
+
+    std::uint64_t lines = config_.sizeBytes / config_.lineBytes;
+    fatal_if(lines == 0 || lines % config_.assoc != 0,
+             "cache '%s': size/line/assoc geometry inconsistent",
+             config_.name.c_str());
+    numSets_ = unsigned(lines / config_.assoc);
+    fatal_if(!std::has_single_bit(std::uint64_t(numSets_)),
+             "cache '%s': set count must be a power of two",
+             config_.name.c_str());
+    lines_.resize(lines);
+}
+
+unsigned
+Cache::setIndex(Addr addr) const
+{
+    return unsigned((addr / config_.lineBytes) & (numSets_ - 1));
+}
+
+bool
+Cache::access(Addr addr)
+{
+    const Addr tag = lineOf(addr);
+    Line *set = &lines_[std::size_t(setIndex(addr)) * config_.assoc];
+    ++useClock_;
+
+    Line *victim = &set[0];
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        Line &line = set[w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = useClock_;
+            ++hits_;
+            return true;
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lastUse < victim->lastUse) {
+            victim = &line;
+        }
+    }
+
+    ++misses_;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = useClock_;
+    return false;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    const Addr tag = lineOf(addr);
+    const Line *set = &lines_[std::size_t(setIndex(addr)) * config_.assoc];
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        if (set[w].valid && set[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::reset()
+{
+    for (auto &line : lines_)
+        line = Line{};
+    useClock_ = 0;
+    hits_ = 0;
+    misses_ = 0;
+}
+
+} // namespace si

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A generic set-associative, LRU, tag-only cache model used for the L1
+ * data cache and the L0/L1 instruction caches. The simulator is timing-
+ * directed: data values live in functional memory, so the cache tracks
+ * tags and recency only.
+ */
+
+#ifndef SI_MEM_CACHE_HH
+#define SI_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace si {
+
+/** Geometry and identity of a cache. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 64 * 1024;
+    unsigned lineBytes = 128;
+    unsigned assoc = 4;
+};
+
+/**
+ * Tag-only set-associative cache with true-LRU replacement.
+ * access() combines lookup and fill-on-miss, which is the behaviour
+ * every client here wants (no write-allocate subtleties: stores are
+ * fire-and-forget in this simulator, as in the paper's stub model).
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Look up @p addr; on miss, victimize the LRU way and fill.
+     * @return true on hit.
+     */
+    bool access(Addr addr);
+
+    /** Look up without filling or touching recency. */
+    bool probe(Addr addr) const;
+
+    /** Invalidate everything (kernel launch boundary). */
+    void reset();
+
+    /** Line-align an address. */
+    Addr
+    lineOf(Addr addr) const
+    {
+        return addr & ~Addr(config_.lineBytes - 1);
+    }
+
+    unsigned lineBytes() const { return config_.lineBytes; }
+    const CacheConfig &config() const { return config_; }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    struct Line
+    {
+        Addr tag = ~Addr(0);
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    unsigned setIndex(Addr addr) const;
+
+    CacheConfig config_;
+    unsigned numSets_;
+    std::vector<Line> lines_; ///< numSets_ * assoc, set-major
+    std::uint64_t useClock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace si
+
+#endif // SI_MEM_CACHE_HH

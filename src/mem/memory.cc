@@ -1,0 +1,31 @@
+#include "mem/memory.hh"
+
+#include <cstring>
+
+namespace si {
+
+void
+Memory::writeF(Addr addr, float value)
+{
+    std::uint32_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    write(addr, bits);
+}
+
+float
+Memory::readF(Addr addr) const
+{
+    std::uint32_t bits = read(addr);
+    float f;
+    std::memcpy(&f, &bits, sizeof(f));
+    return f;
+}
+
+void
+Memory::fill(Addr base, const std::vector<std::uint32_t> &values)
+{
+    for (std::size_t i = 0; i < values.size(); ++i)
+        write(base + Addr(i) * 4, values[i]);
+}
+
+} // namespace si

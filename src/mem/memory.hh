@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Functional memory state: a sparse 32-bit-word store backing LDG/STG/TEX
+ * values, plus a small constant bank for LDC. Timing is handled elsewhere
+ * (L1D cache + the paper's fixed-latency stub); this class only answers
+ * "what value lives at this address".
+ */
+
+#ifndef SI_MEM_MEMORY_HH
+#define SI_MEM_MEMORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace si {
+
+/** Sparse functional memory image. Unwritten words read as zero. */
+class Memory
+{
+  public:
+    /** Read a 32-bit word at byte address @p addr (4-byte aligned). */
+    std::uint32_t
+    read(Addr addr) const
+    {
+        auto it = words_.find(addr & ~Addr(3));
+        return it == words_.end() ? 0u : it->second;
+    }
+
+    /** Write a 32-bit word. */
+    void
+    write(Addr addr, std::uint32_t value)
+    {
+        words_[addr & ~Addr(3)] = value;
+    }
+
+    /** Write a float. */
+    void writeF(Addr addr, float value);
+
+    /** Read a float. */
+    float readF(Addr addr) const;
+
+    /** Bulk initialization helper: pour an int vector at @p base. */
+    void fill(Addr base, const std::vector<std::uint32_t> &values);
+
+    std::size_t footprintWords() const { return words_.size(); }
+
+    // ---- constant bank (LDC) ----
+
+    /** Read constant word at byte offset @p offset. */
+    std::uint32_t
+    readConst(std::uint32_t offset) const
+    {
+        std::uint32_t idx = offset / 4;
+        return idx < constants_.size() ? constants_[idx] : 0u;
+    }
+
+    /** Set constant word at byte offset @p offset. */
+    void
+    writeConst(std::uint32_t offset, std::uint32_t value)
+    {
+        std::uint32_t idx = offset / 4;
+        if (idx >= constants_.size())
+            constants_.resize(idx + 1, 0u);
+        constants_[idx] = value;
+    }
+
+  private:
+    std::unordered_map<Addr, std::uint32_t> words_;
+    std::vector<std::uint32_t> constants_;
+};
+
+} // namespace si
+
+#endif // SI_MEM_MEMORY_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The ten raytracing application traces of Table II, reproduced as
+ * calibrated procedural workloads. Each profile fixes a scene layout,
+ * hit-shader population, shading weight, register pressure (occupancy),
+ * convergent-vs-divergent stall mix, and RT-core traversal-heaviness to
+ * match the characterization in the paper's Figure 3 / Section V-B
+ * discussion (see DESIGN.md for the substitution rationale).
+ */
+
+#ifndef SI_RT_APPS_HH
+#define SI_RT_APPS_HH
+
+#include <string>
+#include <vector>
+
+#include "rt/megakernel.hh"
+#include "rt/workload.hh"
+
+namespace si {
+
+/** The paper's application traces (Table II). */
+enum class AppId {
+    AV1,  ///< ArchViz Interior, diffuse global illumination
+    AV2,  ///< ArchViz Interior, ambient occlusion
+    BFV1, ///< Battlefield V scene 1, reflections
+    BFV2, ///< Battlefield V scene 2, reflections
+    Coll1,///< RTX Collage, ambient occlusion (convergent-stall heavy)
+    Coll2,///< RTX Collage, reflections
+    Ctrl, ///< Control, multiple effects (traversal heavy)
+    DDGI, ///< DDGI Villa, diffuse global illumination
+    MC,   ///< Minecraft, multiple effects
+    MW,   ///< Mechwarrior 5, reflections
+};
+
+/** Short trace name as used in the paper's figures ("AV1", ...). */
+const char *appName(AppId id);
+
+/** All ten traces in figure order. */
+const std::vector<AppId> &allApps();
+
+/** The raw generator inputs behind a trace (wavefront reuse, tools). */
+struct AppBuild
+{
+    SceneConfig scene;
+    MegakernelConfig kernel;
+    RtCoreConfig rtc;
+};
+
+/** Generator inputs for @p id (what buildApp assembles). */
+AppBuild appBuildConfig(AppId id);
+
+/** Build the calibrated workload for @p id. */
+Workload buildApp(AppId id);
+
+/**
+ * Build @p id with an overridden warp count (Figure 14 warp throttling
+ * uses the same workloads at different occupancies).
+ */
+Workload buildApp(AppId id, unsigned num_warps);
+
+} // namespace si
+
+#endif // SI_RT_APPS_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Non-raytracing compute kernels (paper Section VI, fourth limiter):
+ * "We profiled a broad suite of more than 400 non-raytracing CUDA and
+ * Direct3D compute kernels and found only 11 that feature long stalls
+ * in divergent code, and none benefited beyond the margin of noise
+ * from SI."
+ *
+ * This suite reproduces that characterization with representative
+ * kernel archetypes: streaming (saxpy), reduction, tiled matmul-like,
+ * stencil, histogram (divergent but stall-free branches), and a
+ * BFS-like irregular kernel (the rare "long stalls in divergent code"
+ * shape). High occupancy throughout — compute kernels rarely suffer
+ * the register pressure of raytracing megakernels.
+ */
+
+#ifndef SI_RT_COMPUTE_HH
+#define SI_RT_COMPUTE_HH
+
+#include <vector>
+
+#include "rt/workload.hh"
+
+namespace si {
+
+/** The compute-kernel archetypes. */
+enum class ComputeKernel {
+    Saxpy,     ///< streaming FMA: convergent, MLP-rich
+    Reduction, ///< rolling per-thread reduction: convergent stalls
+    MatMulTile,///< inner-product loop: loads amortized by math
+    Stencil5,  ///< 5-point stencil: convergent loads, spatial reuse
+    Histogram, ///< divergent value-dependent branches, no stalls inside
+    BfsLike,   ///< irregular: divergent loop with loads inside (the
+               ///< rare SI-amenable shape among compute kernels)
+};
+
+/** Display name ("saxpy", ...). */
+const char *computeKernelName(ComputeKernel k);
+
+/** All archetypes, in a stable order. */
+const std::vector<ComputeKernel> &allComputeKernels();
+
+/** Build the workload for @p kernel (@p num_warps defaults sensibly). */
+Workload buildComputeKernel(ComputeKernel kernel,
+                            unsigned num_warps = 64);
+
+} // namespace si
+
+#endif // SI_RT_COMPUTE_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Raytracing megakernel generator. Emits the Figure 1 structure: a
+ * convergent ray-cast (RTQUERY) followed by a divergent switch over hit
+ * shaders, iterated over bounces, with per-shader dependent load chains
+ * (primitive normals, material parameters), texture fetches, and math —
+ * the latency-sensitive, divergent, low-occupancy pattern the paper
+ * targets.
+ */
+
+#ifndef SI_RT_MEGAKERNEL_HH
+#define SI_RT_MEGAKERNEL_HH
+
+#include "rt/workload.hh"
+
+namespace si {
+
+/** Shape of a generated megakernel (per-application profile knob set). */
+struct MegakernelConfig
+{
+    std::string name = "megakernel";
+    std::uint64_t seed = 1;
+
+    /** Distinct hit shaders (bounded by the scene's material count). */
+    unsigned numShaders = 8;
+
+    /** Path-trace loop iterations (early exit on miss/emissive). */
+    unsigned bounces = 2;
+
+    /** FFMA-class ops per hit shader (jittered per shader). */
+    unsigned mathPerShader = 24;
+
+    /** Extra dependent global-load rounds per hit shader. */
+    unsigned ldgRounds = 1;
+
+    /** Texture fetches per hit shader. */
+    unsigned texPerShader = 2;
+
+    /** G-buffer loads in the *convergent* region (before the switch).
+     *  Stalls here are convergent; SI cannot help them (Coll traces). */
+    unsigned convergentLdg = 0;
+
+    /** Math ops in the convergent region. */
+    unsigned convergentMath = 8;
+
+    /** Miss-shader (sky) math ops. */
+    unsigned missMath = 6;
+
+    /** Per-thread register demand — the occupancy lever (Section II-B). */
+    unsigned numRegs = 128;
+
+    /** Relative size variation across hit shaders. */
+    float shaderSizeJitter = 0.3f;
+
+    unsigned numWarps = 48;
+    unsigned warpsPerCta = 4;
+};
+
+/**
+ * Generate a megakernel workload over @p scene: the kernel program, the
+ * initialized memory image (primary-ray buffer from the scene camera,
+ * per-triangle normal buffer, material table), and launch geometry.
+ */
+Workload buildMegakernel(const MegakernelConfig &config,
+                         std::shared_ptr<Scene> scene);
+
+} // namespace si
+
+#endif // SI_RT_MEGAKERNEL_HH

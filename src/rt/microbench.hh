@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The paper's CUDA microbenchmark (Figure 11), regenerated as a kernel:
+ * a per-warp switch over subwarpid where each case performs a reduction
+ * over data guaranteed to miss in L1D, bracketed by a warp-wide
+ * convergence barrier per iteration. The divergence factor is swept by
+ * varying SUBWARP_SIZE, exactly as in Table III.
+ */
+
+#ifndef SI_RT_MICROBENCH_HH
+#define SI_RT_MICROBENCH_HH
+
+#include "rt/workload.hh"
+
+namespace si {
+
+/** Figure 11 knobs. */
+struct MicrobenchConfig
+{
+    /** Threads per subwarp: {16, 8, 4, 2, 1} -> divergence 2..32. */
+    unsigned subwarpSize = 16;
+
+    /** Outer loop trip count (ITERATIONS in Figure 11). */
+    unsigned iterations = 4;
+
+    /** Compulsory-miss loads per case body (NUM_ACCESSES...). */
+    unsigned accessesPerCase = 4;
+
+    /** Filler math per case — sizes the instruction footprint so the
+     *  32-way configuration overflows the L0I (the paper's taper). */
+    unsigned fillerMath = 24;
+
+    unsigned numRegs = 64;
+    unsigned numWarps = 8; ///< one per processing block: warp-starved
+};
+
+/** Divergence factor of a configuration (warpSize / subwarpSize). */
+unsigned divergenceFactor(const MicrobenchConfig &config);
+
+/** Build the microbenchmark workload. */
+Workload buildMicrobench(const MicrobenchConfig &config);
+
+} // namespace si
+
+#endif // SI_RT_MICROBENCH_HH

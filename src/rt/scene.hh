@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Procedural scene generation. We do not have the paper's game content
+ * (Battlefield V, Control, ...), so each application trace is backed by
+ * a procedurally generated scene whose layout style matches the game's
+ * broad geometry class (interior architecture, terrain, voxel city,
+ * cluttered scatter). The BVH, traversal work, and hit-shader
+ * divergence all derive from this real geometry.
+ */
+
+#ifndef SI_RT_SCENE_HH
+#define SI_RT_SCENE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rtcore/bvh.hh"
+#include "rtcore/geom.hh"
+
+namespace si {
+
+/** Broad geometry class of a procedural scene. */
+enum class SceneLayout {
+    Interior, ///< rooms with walls, floors, and furniture boxes
+    Terrain,  ///< heightfield with scattered props
+    City,     ///< grid of boxes with varying heights (voxel-ish)
+    Scatter,  ///< random triangle soup in a volume
+};
+
+/** Parameters for procedural scene generation. */
+struct SceneConfig
+{
+    std::string name = "scene";
+    SceneLayout layout = SceneLayout::Scatter;
+    std::uint64_t seed = 1;
+    unsigned targetTriangles = 8000;
+    unsigned numMaterials = 8; ///< distinct hit-shader bindings
+    float extent = 100.0f;     ///< world size
+};
+
+/** A generated scene: triangle soup + its BVH + a camera. */
+struct Scene
+{
+    SceneConfig config;
+    std::vector<Triangle> triangles;
+    Bvh bvh;
+
+    // Simple pinhole camera chosen per layout.
+    Vec3 eye;
+    Vec3 lookDir;  ///< normalized view direction
+    Vec3 rightDir; ///< normalized, scaled by tan(fov/2)*aspect
+    Vec3 upDir;    ///< normalized, scaled by tan(fov/2)
+
+    /** Primary ray through normalized screen coords in [0,1)^2. */
+    Ray
+    primaryRay(float sx, float sy) const
+    {
+        Ray r;
+        r.origin = eye;
+        r.dir = (lookDir + rightDir * (2.0f * sx - 1.0f) +
+                 upDir * (2.0f * sy - 1.0f))
+                    .normalized();
+        return r;
+    }
+};
+
+/** Generate a scene from @p config (deterministic in the seed). */
+std::shared_ptr<Scene> makeScene(const SceneConfig &config);
+
+} // namespace si
+
+#endif // SI_RT_SCENE_HH

@@ -1,0 +1,159 @@
+#include "rt/shader_body.hh"
+
+#include <algorithm>
+
+#include "rt/workload.hh"
+
+namespace si {
+
+using namespace kregs;
+
+void
+emitMathChain(KernelBuilder &kb, unsigned count)
+{
+    for (unsigned i = 0; i < count; ++i) {
+        const RegIndex d = RegIndex(rMath + (i % 4));
+        const RegIndex a = RegIndex(rMath + ((i + 1) % 4));
+        const RegIndex b = RegIndex(rMath + ((i + 2) % 4));
+        switch (i % 3) {
+          case 0:
+            kb.ffma(d, a, b, d);
+            break;
+          case 1:
+            kb.fadd(d, d, a);
+            break;
+          default:
+            // Damped product keeps chain values bounded so rendered
+            // radiance stays finite; timing class is identical.
+            kb.fmuli(d, d, 0.4375f);
+            break;
+        }
+    }
+}
+
+namespace {
+
+/** Per-shader jitter: integer hash mapped to [-0.5, 0.5) * scale. */
+void
+emitJitter(KernelBuilder &kb, RegIndex dst_dir, unsigned shift,
+           float scale)
+{
+    kb.shri(rHash, rSeed, std::int32_t(shift));
+    kb.andi(rHash, rHash, 0x7fffff);
+    kb.i2f(rJit, rHash);
+    kb.fmuli(rJit, rJit, 1.0f / 8388608.0f);
+    kb.faddi(rJit, rJit, -0.5f);
+    kb.fmuli(rJit, rJit, scale);
+    kb.fadd(dst_dir, dst_dir, rJit);
+}
+
+} // namespace
+
+void
+emitHitShaderBody(KernelBuilder &kb, const MegakernelConfig &config,
+                  unsigned shader_k, Rng &rng)
+{
+    const unsigned k = shader_k;
+    const float size_scale =
+        1.0f + config.shaderSizeJitter * (rng.uniform() * 2.0f - 1.0f);
+    const unsigned math_ops =
+        std::max(4u, unsigned(float(config.mathPerShader) * size_scale));
+    const float roughness = rng.uniform(0.1f, 0.6f);
+
+    // Hit point: o += t * d (t = rHit+1 from the query).
+    kb.ffma(RegIndex(rRay + 0), RegIndex(rRay + 3), RegIndex(rHit + 1),
+            RegIndex(rRay + 0));
+    kb.ffma(RegIndex(rRay + 1), RegIndex(rRay + 4), RegIndex(rHit + 1),
+            RegIndex(rRay + 1));
+    kb.ffma(RegIndex(rRay + 2), RegIndex(rRay + 5), RegIndex(rHit + 1),
+            RegIndex(rRay + 2));
+
+    // Dependent normal fetch indexed by hit primitive.
+    kb.ldc(rConst, layout::cNormalBuf);
+    kb.imadi(rAddr, RegIndex(rHit + 2), 16, rConst);
+    kb.ldg(RegIndex(rNorm + 0), rAddr, 0).wr(sbNorm);
+    kb.ldg(RegIndex(rNorm + 1), rAddr, 4).wr(sbNorm);
+    kb.ldg(RegIndex(rNorm + 2), rAddr, 8).wr(sbNorm);
+
+    // Material record (statically addressed per shader).
+    kb.ldc(rConst, layout::cMatBuf);
+    kb.iaddi(rAddr, rConst, std::int32_t((k - 1) * 32));
+    kb.ldg(RegIndex(rMat + 0), rAddr, 0).wr(sbMat);
+    kb.ldg(RegIndex(rMat + 1), rAddr, 4).wr(sbMat);
+
+    // Extra dependent attribute rounds (BVH-adjacent data).
+    for (unsigned r = 0; r < config.ldgRounds; ++r) {
+        kb.imuli(rHash, rSeed, 1664525);
+        kb.iaddi(rSeed, rHash, 1013904223);
+        kb.shri(rHash, rSeed, 8);
+        kb.andi(rHash, rHash, 0x3ffff0);
+        kb.ldc(rConst, layout::cAttrBuf);
+        kb.iadd(rAddr, rConst, rHash);
+        kb.ldg(RegIndex(rAttr + 0), rAddr, 0).wr(sbAttr);
+        kb.ldg(RegIndex(rAttr + 1), rAddr, 4).wr(sbAttr);
+    }
+
+    // Texture fetches addressed by the thread's RNG stream.
+    for (unsigned t = 0; t < config.texPerShader; ++t) {
+        kb.imuli(rHash, rSeed, 1664525);
+        kb.iaddi(rSeed, rHash, 1013904223);
+        kb.shri(RegIndex(rHash + 1), rSeed, 16);
+        kb.tex(RegIndex(rTex + (t % 2)), RegIndex(rHash + 1),
+               rSeed).wr(sbTex);
+    }
+
+    // Shading math; &req markers stage the load-to-use points.
+    kb.fadd(rMath, RegIndex(rNorm + 0), RegIndex(rNorm + 1)).req(sbNorm);
+    const unsigned third = std::max(1u, math_ops / 3);
+    emitMathChain(kb, third);
+    kb.ffma(RegIndex(rMath + 1), RegIndex(rMat + 0), rMath,
+            RegIndex(rMath + 1)).req(sbMat);
+    emitMathChain(kb, third);
+    if (config.texPerShader > 0) {
+        kb.ffma(RegIndex(rMath + 2), rTex, rMath,
+                RegIndex(rMath + 2)).req(sbTex);
+    }
+    if (config.ldgRounds > 0) {
+        kb.fadd(RegIndex(rMath + 3), rAttr,
+                RegIndex(rMath + 3)).req(sbAttr);
+    }
+    emitMathChain(kb, math_ops - 2 * third);
+
+    // Radiance accumulation.
+    kb.ffma(rAccum, RegIndex(rMat + 0), rMath, rAccum);
+
+    // Reflect the ray about the normal: d -= 2 (d.n) n.
+    kb.fmul(rDot, RegIndex(rRay + 3), RegIndex(rNorm + 0));
+    kb.ffma(rDot, RegIndex(rRay + 4), RegIndex(rNorm + 1), rDot);
+    kb.ffma(rDot, RegIndex(rRay + 5), RegIndex(rNorm + 2), rDot);
+    kb.fmuli(rDot, rDot, -2.0f);
+    for (unsigned c = 0; c < 3; ++c) {
+        kb.ffma(RegIndex(rRay + 3 + c), rDot, RegIndex(rNorm + c),
+                RegIndex(rRay + 3 + c));
+    }
+
+    // Material roughness scatters the reflection.
+    emitJitter(kb, RegIndex(rRay + 3), 9, roughness);
+    emitJitter(kb, RegIndex(rRay + 4), 5, roughness);
+    emitJitter(kb, RegIndex(rRay + 5), 13, roughness);
+
+    // Walk the origin off the surface to avoid self-hits.
+    for (unsigned c = 0; c < 3; ++c) {
+        kb.ffma(RegIndex(rRay + c), RegIndex(rNorm + c), rEps,
+                RegIndex(rRay + c));
+    }
+
+    // Emissive materials terminate the path.
+    kb.fsetpi(pEmissive, CmpOp::GT, RegIndex(rMat + 1), 0.5f);
+    kb.movi(rBounce, 1).pred(pEmissive);
+}
+
+void
+emitMissShaderBody(KernelBuilder &kb, const MegakernelConfig &config)
+{
+    emitMathChain(kb, config.missMath);
+    kb.faddi(rAccum, rAccum, 0.25f);
+    kb.movi(rBounce, 1);
+}
+
+} // namespace si

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Shared hit-shader body emission, used by both the megakernel
+ * generator (divergent switch dispatch) and the wavefront pipeline
+ * (one convergent kernel per material). Keeping one emitter guarantees
+ * the megakernel-vs-wavefront comparison shades identical work.
+ */
+
+#ifndef SI_RT_SHADER_BODY_HH
+#define SI_RT_SHADER_BODY_HH
+
+#include "common/rng.hh"
+#include "isa/builder.hh"
+#include "rt/megakernel.hh"
+
+namespace si {
+
+/**
+ * Register conventions shared by generated raytracing kernels.
+ * Documented in DESIGN.md; both generators load/keep these live.
+ */
+namespace kregs {
+
+inline constexpr RegIndex rTid = 0, rAddr = 1, rConst = 2, rBounce = 3;
+inline constexpr RegIndex rRay = 4; ///< R4..R9: origin, direction
+inline constexpr RegIndex rSeed = 10, rAccum = 12, rHit = 16;
+inline constexpr RegIndex rOfs = 19, rNorm = 20, rMat = 23, rAttr = 25;
+inline constexpr RegIndex rHash = 27, rMath = 30, rDot = 34, rEps = 35;
+inline constexpr RegIndex rTex = 36, rJit = 38;
+
+inline constexpr PredIndex pMiss = 1, pDispatch = 2, pLoop = 4;
+inline constexpr PredIndex pEmissive = 5;
+
+inline constexpr SbIndex sbRay = 0, sbRt = 1, sbGbuf = 2, sbNorm = 3;
+inline constexpr SbIndex sbMat = 4, sbTex = 5, sbAttr = 6;
+
+} // namespace kregs
+
+/**
+ * Emit @p count FFMA-class ops over the four math-chain registers
+ * (dependence distance 4 gives the stream realistic ILP).
+ */
+void emitMathChain(KernelBuilder &kb, unsigned count);
+
+/**
+ * Emit the hit shader for material @p shader_k (1-based): hit-point
+ * update, dependent normal fetch by primitive id, material record
+ * load, optional attribute rounds and texture fetches, staged shading
+ * math, radiance accumulation, ray reflection with material-roughness
+ * jitter, and emissive termination (sets kregs::rBounce to 1).
+ *
+ * Preconditions: rRay holds the ray, rHit..rHit+2 the query results,
+ * rSeed the RNG state, rEps a small epsilon float.
+ */
+void emitHitShaderBody(KernelBuilder &kb, const MegakernelConfig &config,
+                       unsigned shader_k, Rng &rng);
+
+/** Emit the miss (sky) shader: filler math, sky radiance, terminate. */
+void emitMissShaderBody(KernelBuilder &kb,
+                        const MegakernelConfig &config);
+
+} // namespace si
+
+#endif // SI_RT_SHADER_BODY_HH

@@ -1,0 +1,240 @@
+#include "rtcore/bvh.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/log.hh"
+
+namespace si {
+
+Bvh::Bvh(std::vector<Triangle> triangles, BvhBuilder builder)
+    : builder_(builder), tris_(std::move(triangles))
+{
+    if (tris_.empty()) {
+        Node root;
+        root.box = Aabb{};
+        nodes_.push_back(root);
+        return;
+    }
+
+    prims_.resize(tris_.size());
+    std::iota(prims_.begin(), prims_.end(), 0u);
+    primBounds_.reserve(tris_.size());
+    primCentroids_.reserve(tris_.size());
+    for (const auto &t : tris_) {
+        primBounds_.push_back(t.bounds());
+        primCentroids_.push_back(primBounds_.back().centroid());
+    }
+
+    nodes_.reserve(tris_.size() * 2);
+    buildNode(0, std::uint32_t(prims_.size()));
+
+    primBounds_.clear();
+    primBounds_.shrink_to_fit();
+    primCentroids_.clear();
+    primCentroids_.shrink_to_fit();
+}
+
+std::uint32_t
+Bvh::buildNode(std::uint32_t begin, std::uint32_t end)
+{
+    const std::uint32_t node_index = std::uint32_t(nodes_.size());
+    nodes_.emplace_back();
+
+    Aabb box;
+    Aabb centroid_box;
+    for (std::uint32_t i = begin; i < end; ++i) {
+        box.expand(primBounds_[prims_[i]]);
+        centroid_box.expand(primCentroids_[prims_[i]]);
+    }
+    nodes_[node_index].box = box;
+
+    const std::uint32_t count = end - begin;
+    if (count <= maxLeafSize) {
+        nodes_[node_index].firstPrim = begin;
+        nodes_[node_index].count = std::uint16_t(count);
+        return node_index;
+    }
+
+    // Binned SAH along the widest centroid axis.
+    const Vec3 extent = centroid_box.hi - centroid_box.lo;
+    int axis = 0;
+    if (extent.y > extent.x)
+        axis = 1;
+    if (extent.z > extent[axis])
+        axis = 2;
+
+    constexpr unsigned numBins = 12;
+    const float axis_lo = centroid_box.lo[axis];
+    const float axis_extent = extent[axis];
+
+    std::uint32_t mid;
+    if (axis_extent < 1e-12f) {
+        // Degenerate: all centroids coincide; split by median.
+        mid = begin + count / 2;
+    } else if (builder_ == BvhBuilder::MedianSplit) {
+        // Object-median split along the widest axis.
+        mid = begin + count / 2;
+        std::nth_element(prims_.begin() + begin, prims_.begin() + mid,
+                         prims_.begin() + end,
+                         [&](std::uint32_t a, std::uint32_t b) {
+                             return primCentroids_[a][axis] <
+                                    primCentroids_[b][axis];
+                         });
+    } else {
+        struct Bin
+        {
+            Aabb box;
+            std::uint32_t count = 0;
+        };
+        Bin bins[numBins];
+        auto bin_of = [&](std::uint32_t prim) {
+            float rel = (primCentroids_[prim][axis] - axis_lo) / axis_extent;
+            unsigned b = unsigned(rel * numBins);
+            return b >= numBins ? numBins - 1 : b;
+        };
+        for (std::uint32_t i = begin; i < end; ++i) {
+            Bin &b = bins[bin_of(prims_[i])];
+            b.box.expand(primBounds_[prims_[i]]);
+            b.count++;
+        }
+
+        // Sweep to find the cheapest split boundary.
+        float left_area[numBins], right_area[numBins];
+        std::uint32_t left_count[numBins], right_count[numBins];
+        Aabb acc;
+        std::uint32_t cnt = 0;
+        for (unsigned b = 0; b < numBins; ++b) {
+            if (bins[b].count)
+                acc.expand(bins[b].box);
+            cnt += bins[b].count;
+            left_area[b] = acc.area();
+            left_count[b] = cnt;
+        }
+        acc = Aabb{};
+        cnt = 0;
+        for (int b = numBins - 1; b >= 0; --b) {
+            if (bins[b].count)
+                acc.expand(bins[b].box);
+            cnt += bins[b].count;
+            right_area[b] = acc.area();
+            right_count[b] = cnt;
+        }
+
+        float best_cost = std::numeric_limits<float>::infinity();
+        unsigned best_split = 0;
+        for (unsigned b = 0; b + 1 < numBins; ++b) {
+            if (left_count[b] == 0 || right_count[b + 1] == 0)
+                continue;
+            float cost = left_area[b] * float(left_count[b]) +
+                         right_area[b + 1] * float(right_count[b + 1]);
+            if (cost < best_cost) {
+                best_cost = cost;
+                best_split = b;
+            }
+        }
+
+        if (best_cost == std::numeric_limits<float>::infinity()) {
+            mid = begin + count / 2;
+        } else {
+            auto it = std::partition(
+                prims_.begin() + begin, prims_.begin() + end,
+                [&](std::uint32_t prim) {
+                    return bin_of(prim) <= best_split;
+                });
+            mid = std::uint32_t(it - prims_.begin());
+            if (mid == begin || mid == end)
+                mid = begin + count / 2;
+        }
+    }
+
+    buildNode(begin, mid); // left child == node_index + 1
+    const std::uint32_t right = buildNode(mid, end);
+    nodes_[node_index].rightChild = right;
+    nodes_[node_index].count = 0;
+    return node_index;
+}
+
+const Aabb &
+Bvh::bounds() const
+{
+    return nodes_.front().box;
+}
+
+Hit
+Bvh::trace(const Ray &ray, TraversalStats *stats) const
+{
+    Hit best;
+    if (tris_.empty())
+        return best;
+
+    std::uint32_t stack[64];
+    int sp = 0;
+    stack[sp++] = 0;
+
+    float t_max = ray.tMax;
+    while (sp > 0) {
+        const Node &node = nodes_[stack[--sp]];
+        if (stats)
+            stats->nodesVisited++;
+        if (!node.box.hit(ray, t_max))
+            continue;
+        if (node.isLeaf()) {
+            for (unsigned i = 0; i < node.count; ++i) {
+                const std::uint32_t prim = prims_[node.firstPrim + i];
+                if (stats)
+                    stats->trianglesTested++;
+                Hit h = intersect(ray, tris_[prim], t_max);
+                if (h.valid) {
+                    h.primId = prim;
+                    best = h;
+                    t_max = h.t;
+                }
+            }
+        } else {
+            panic_if(sp + 2 > 64, "BVH traversal stack overflow");
+            const std::uint32_t self =
+                std::uint32_t(&node - nodes_.data());
+            stack[sp++] = node.rightChild;
+            stack[sp++] = self + 1; // left child visited first
+        }
+    }
+    return best;
+}
+
+bool
+Bvh::occluded(const Ray &ray, TraversalStats *stats) const
+{
+    if (tris_.empty())
+        return false;
+
+    std::uint32_t stack[64];
+    int sp = 0;
+    stack[sp++] = 0;
+
+    while (sp > 0) {
+        const Node &node = nodes_[stack[--sp]];
+        if (stats)
+            stats->nodesVisited++;
+        if (!node.box.hit(ray, ray.tMax))
+            continue;
+        if (node.isLeaf()) {
+            for (unsigned i = 0; i < node.count; ++i) {
+                const std::uint32_t prim = prims_[node.firstPrim + i];
+                if (stats)
+                    stats->trianglesTested++;
+                if (intersect(ray, tris_[prim], ray.tMax).valid)
+                    return true;
+            }
+        } else {
+            panic_if(sp + 2 > 64, "BVH traversal stack overflow");
+            const std::uint32_t self =
+                std::uint32_t(&node - nodes_.data());
+            stack[sp++] = node.rightChild;
+            stack[sp++] = self + 1;
+        }
+    }
+    return false;
+}
+
+} // namespace si

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Bounding Volume Hierarchy: binned-SAH construction and stack-based
+ * traversal that reports both the nearest hit and the amount of work the
+ * traversal performed (node/leaf visits), which drives the RT-core
+ * timing model.
+ */
+
+#ifndef SI_RTCORE_BVH_HH
+#define SI_RTCORE_BVH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "rtcore/geom.hh"
+
+namespace si {
+
+/** Traversal effort accounting for one query. */
+struct TraversalStats
+{
+    std::uint32_t nodesVisited = 0;
+    std::uint32_t trianglesTested = 0;
+};
+
+/** Construction strategy. */
+enum class BvhBuilder {
+    BinnedSah,   ///< binned surface-area heuristic (production default)
+    MedianSplit, ///< object-median split (fast build, worse traversal)
+};
+
+/**
+ * A binary BVH over a triangle soup. Build once, query many times;
+ * queries are const and thread-compatible.
+ */
+class Bvh
+{
+  public:
+    Bvh() = default;
+
+    /** Build over @p triangles (copied in). Empty input is allowed. */
+    explicit Bvh(std::vector<Triangle> triangles,
+                 BvhBuilder builder = BvhBuilder::BinnedSah);
+
+    /**
+     * Find the nearest intersection along @p ray.
+     * @param stats optional effort accounting for the timing model.
+     */
+    Hit trace(const Ray &ray, TraversalStats *stats = nullptr) const;
+
+    /** True when any intersection exists (shadow-ray query). */
+    bool occluded(const Ray &ray, TraversalStats *stats = nullptr) const;
+
+    std::size_t numTriangles() const { return tris_.size(); }
+    std::size_t numNodes() const { return nodes_.size(); }
+    const Aabb &bounds() const;
+
+    /** Maximum leaf size the builder produces. */
+    static constexpr unsigned maxLeafSize = 4;
+
+  private:
+    struct Node
+    {
+        Aabb box;
+        /** Leaf: index into prims_, count in count. Inner: left child is
+         *  index+1, right child is rightChild. */
+        std::uint32_t firstPrim = 0;
+        std::uint32_t rightChild = 0;
+        std::uint16_t count = 0; ///< 0 for inner nodes
+
+        bool isLeaf() const { return count != 0; }
+    };
+
+    std::uint32_t buildNode(std::uint32_t begin, std::uint32_t end);
+
+    BvhBuilder builder_ = BvhBuilder::BinnedSah;
+    std::vector<Triangle> tris_;
+    std::vector<std::uint32_t> prims_; ///< triangle indices, leaf-ordered
+    std::vector<Node> nodes_;
+    std::vector<Aabb> primBounds_;     ///< build-time only; cleared after
+    std::vector<Vec3> primCentroids_;  ///< build-time only; cleared after
+};
+
+} // namespace si
+
+#endif // SI_RTCORE_BVH_HH

@@ -1,0 +1,54 @@
+#include "rtcore/rtcore.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace si {
+
+RtCore::RtCore(const Bvh *bvh, const RtCoreConfig &config)
+    : bvh_(bvh), config_(config)
+{
+    fatal_if(config_.numPipes == 0, "RT core needs at least one pipe");
+    pipeBusyUntil_.assign(config_.numPipes, 0);
+}
+
+WarpQueryResult
+RtCore::query(Cycle now, ThreadMask mask,
+              const std::array<Ray, warpSize> &rays)
+{
+    panic_if(bvh_ == nullptr, "RTQUERY issued with no scene attached");
+
+    WarpQueryResult result;
+    std::uint32_t max_nodes = 0;
+    for (unsigned lane : lanesOf(mask)) {
+        TraversalStats ts;
+        result.hits[lane] = bvh_->trace(rays[lane], &ts);
+        max_nodes = std::max(max_nodes, ts.nodesVisited);
+        nodes_ += ts.nodesVisited;
+        ++rays_;
+    }
+    ++queries_;
+    result.maxNodesVisited = max_nodes;
+
+    // Pick the earliest-free traversal pipe; queries queue behind it.
+    auto pipe = std::min_element(pipeBusyUntil_.begin(),
+                                 pipeBusyUntil_.end());
+    const Cycle start = std::max(now, *pipe);
+    const Cycle service =
+        config_.baseLatency + Cycle(config_.cyclesPerNode * max_nodes);
+    *pipe = start + service;
+    result.latency = (start + service) - now;
+    return result;
+}
+
+void
+RtCore::reset()
+{
+    pipeBusyUntil_.assign(config_.numPipes, 0);
+    queries_ = 0;
+    rays_ = 0;
+    nodes_ = 0;
+}
+
+} // namespace si

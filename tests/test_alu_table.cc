@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Table-driven ALU semantics sweep: every integer/float ALU opcode is
+ * run through a one-instruction kernel with concrete operands and its
+ * architectural result checked, including signedness, shift-amount
+ * masking, and float edge cases.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "core/gpu.hh"
+#include "isa/builder.hh"
+
+using namespace si;
+
+namespace {
+
+struct AluCase
+{
+    const char *name;
+    Opcode op;
+    std::uint32_t a;
+    std::uint32_t b;
+    std::uint32_t c;       ///< srcC for IMAD/FFMA
+    std::uint32_t expected;
+};
+
+std::uint32_t
+f2b(float f)
+{
+    return std::uint32_t(Instr::fbits(f));
+}
+
+class AluTableTest : public ::testing::TestWithParam<AluCase>
+{
+};
+
+} // namespace
+
+TEST_P(AluTableTest, OneOpKernelProducesExpectedResult)
+{
+    const AluCase &tc = GetParam();
+
+    KernelBuilder kb(tc.name);
+    kb.movi(2, std::int32_t(tc.a));
+    kb.movi(3, std::int32_t(tc.b));
+    kb.movi(4, std::int32_t(tc.c));
+    Instr in;
+    in.op = tc.op;
+    in.dst = 5;
+    in.srcA = 2;
+    in.srcB = 3;
+    if (tc.op == Opcode::IMAD || tc.op == Opcode::FFMA)
+        in.srcC = 4;
+    kb.emit(in);
+    kb.movi(1, 0x1000);
+    kb.stg(1, 0, 5);
+    kb.exit();
+
+    GpuConfig cfg;
+    cfg.numSms = 1;
+    Memory mem;
+    const GpuResult r = simulate(cfg, mem, kb.build(16), {1, 1});
+    ASSERT_FALSE(r.timedOut);
+    EXPECT_EQ(mem.read(0x1000), tc.expected) << tc.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Integer, AluTableTest,
+    ::testing::Values(
+        AluCase{"iadd", Opcode::IADD, 7, 5, 0, 12},
+        AluCase{"iadd_wrap", Opcode::IADD, 0xffffffffu, 2, 0, 1},
+        AluCase{"isub", Opcode::ISUB, 5, 7, 0, 0xfffffffeu},
+        AluCase{"imul", Opcode::IMUL, 6, 7, 0, 42},
+        AluCase{"imul_wrap", Opcode::IMUL, 0x10000u, 0x10000u, 0, 0},
+        AluCase{"imad", Opcode::IMAD, 3, 4, 5, 17},
+        AluCase{"imin_signed", Opcode::IMIN, std::uint32_t(-5), 3, 0,
+                std::uint32_t(-5)},
+        AluCase{"imax_signed", Opcode::IMAX, std::uint32_t(-5), 3, 0, 3},
+        AluCase{"and", Opcode::AND, 0xff00ffu, 0x0ff0f0u, 0, 0x0f00f0u},
+        AluCase{"or", Opcode::OR, 0xf0u, 0x0fu, 0, 0xffu},
+        AluCase{"xor", Opcode::XOR, 0xaau, 0xffu, 0, 0x55u},
+        AluCase{"shl", Opcode::SHL, 1, 4, 0, 16},
+        AluCase{"shl_mask", Opcode::SHL, 1, 33, 0, 2}, // amount & 31
+        AluCase{"shr_logical", Opcode::SHR, 0x80000000u, 4, 0,
+                0x08000000u},
+        AluCase{"shr_mask", Opcode::SHR, 0x100u, 40, 0, 0x1u}),
+    [](const ::testing::TestParamInfo<AluCase> &info) {
+        return std::string(info.param.name);
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    Float, AluTableTest,
+    ::testing::Values(
+        AluCase{"fadd", Opcode::FADD, f2b(1.5f), f2b(2.25f), 0,
+                f2b(3.75f)},
+        AluCase{"fadd_neg", Opcode::FADD, f2b(1.0f), f2b(-3.0f), 0,
+                f2b(-2.0f)},
+        AluCase{"fmul", Opcode::FMUL, f2b(3.0f), f2b(-2.0f), 0,
+                f2b(-6.0f)},
+        AluCase{"ffma", Opcode::FFMA, f2b(2.0f), f2b(3.0f), f2b(4.0f),
+                f2b(10.0f)},
+        AluCase{"fmin", Opcode::FMIN, f2b(1.0f), f2b(-1.0f), 0,
+                f2b(-1.0f)},
+        AluCase{"fmax", Opcode::FMAX, f2b(1.0f), f2b(-1.0f), 0,
+                f2b(1.0f)},
+        AluCase{"fmin_inf", Opcode::FMIN, f2b(1e30f),
+                f2b(-std::numeric_limits<float>::infinity()), 0,
+                f2b(-std::numeric_limits<float>::infinity())}),
+    [](const ::testing::TestParamInfo<AluCase> &info) {
+        return std::string(info.param.name);
+    });
+
+namespace {
+
+struct CmpCase
+{
+    const char *name;
+    Opcode op;
+    CmpOp cmp;
+    std::uint32_t a;
+    std::uint32_t b;
+    bool expected;
+};
+
+class CmpTableTest : public ::testing::TestWithParam<CmpCase>
+{
+};
+
+} // namespace
+
+TEST_P(CmpTableTest, PredicateMatches)
+{
+    const CmpCase &tc = GetParam();
+    KernelBuilder kb(tc.name);
+    kb.movi(2, std::int32_t(tc.a));
+    kb.movi(3, std::int32_t(tc.b));
+    Instr in;
+    in.op = tc.op;
+    in.srcA = 2;
+    in.srcB = 3;
+    in.pdst = 0;
+    in.cmp = tc.cmp;
+    kb.emit(in);
+    kb.movi(5, 0);
+    kb.movi(5, 1).pred(0);
+    kb.movi(1, 0x1000);
+    kb.stg(1, 0, 5);
+    kb.exit();
+
+    GpuConfig cfg;
+    cfg.numSms = 1;
+    Memory mem;
+    simulate(cfg, mem, kb.build(16), {1, 1});
+    EXPECT_EQ(mem.read(0x1000), tc.expected ? 1u : 0u) << tc.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Compares, CmpTableTest,
+    ::testing::Values(
+        CmpCase{"ilt_signed", Opcode::ISETP, CmpOp::LT,
+                std::uint32_t(-1), 0, true},
+        CmpCase{"igt_signed", Opcode::ISETP, CmpOp::GT,
+                std::uint32_t(-1), 0, false},
+        CmpCase{"ile_eq", Opcode::ISETP, CmpOp::LE, 5, 5, true},
+        CmpCase{"ige_eq", Opcode::ISETP, CmpOp::GE, 5, 5, true},
+        CmpCase{"ieq", Opcode::ISETP, CmpOp::EQ, 9, 9, true},
+        CmpCase{"ine", Opcode::ISETP, CmpOp::NE, 9, 9, false},
+        CmpCase{"flt", Opcode::FSETP, CmpOp::LT, f2b(-0.5f), f2b(0.5f),
+                true},
+        CmpCase{"fge", Opcode::FSETP, CmpOp::GE, f2b(2.0f), f2b(2.0f),
+                true},
+        CmpCase{"fne_nan", Opcode::FSETP, CmpOp::NE, f2b(NAN),
+                f2b(NAN), true},
+        CmpCase{"feq_nan", Opcode::FSETP, CmpOp::EQ, f2b(NAN),
+                f2b(NAN), false}),
+    [](const ::testing::TestParamInfo<CmpCase> &info) {
+        return std::string(info.param.name);
+    });

@@ -1,0 +1,170 @@
+/** @file Unit + property tests for the set-associative LRU cache. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "mem/cache.hh"
+
+using si::Addr;
+using si::Cache;
+using si::CacheConfig;
+
+namespace {
+
+CacheConfig
+smallConfig()
+{
+    CacheConfig c;
+    c.name = "test";
+    c.sizeBytes = 1024; // 8 lines
+    c.lineBytes = 128;
+    c.assoc = 2;        // 4 sets
+    return c;
+}
+
+} // namespace
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(smallConfig());
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x107f)); // same line
+    EXPECT_FALSE(c.access(0x1080)); // next line
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, LruEviction)
+{
+    Cache c(smallConfig()); // 4 sets x 2 ways; set stride = 128*4 = 512
+    const Addr a = 0x0000, b = 0x0200, d = 0x0400; // same set 0
+    EXPECT_FALSE(c.access(a));
+    EXPECT_FALSE(c.access(b));
+    EXPECT_TRUE(c.access(a));  // refresh a; b is now LRU
+    EXPECT_FALSE(c.access(d)); // evicts b
+    EXPECT_TRUE(c.access(a));  // a survived
+    EXPECT_FALSE(c.access(b)); // b was evicted
+}
+
+TEST(Cache, ProbeDoesNotFill)
+{
+    Cache c(smallConfig());
+    EXPECT_FALSE(c.probe(0x1000));
+    EXPECT_FALSE(c.probe(0x1000)); // still cold
+    c.access(0x1000);
+    EXPECT_TRUE(c.probe(0x1000));
+    EXPECT_EQ(c.hits(), 0u); // probes don't count
+}
+
+TEST(Cache, ResetClearsEverything)
+{
+    Cache c(smallConfig());
+    c.access(0x1000);
+    c.access(0x1000);
+    c.reset();
+    EXPECT_EQ(c.hits(), 0u);
+    EXPECT_EQ(c.misses(), 0u);
+    EXPECT_FALSE(c.probe(0x1000));
+    EXPECT_FALSE(c.access(0x1000));
+}
+
+TEST(Cache, LineAlignment)
+{
+    Cache c(smallConfig());
+    EXPECT_EQ(c.lineOf(0x12345), Addr(0x12345) & ~Addr(127));
+    EXPECT_EQ(c.lineOf(0x80), 0x80u);
+    EXPECT_EQ(c.lineOf(0x7f), 0x0u);
+}
+
+TEST(Cache, WorkingSetWithinCapacityNeverMissesAfterWarmup)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 4096;
+    cfg.lineBytes = 128;
+    cfg.assoc = 4;
+    Cache c(cfg);
+    // 32 lines capacity; touch 16 lines twice.
+    for (int round = 0; round < 3; ++round) {
+        for (Addr a = 0; a < 16 * 128; a += 128)
+            c.access(a);
+    }
+    EXPECT_EQ(c.misses(), 16u);
+    EXPECT_EQ(c.hits(), 32u);
+}
+
+TEST(Cache, ThrashingWorkingSetMissesEveryTime)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 1024; // 8 lines
+    cfg.lineBytes = 128;
+    cfg.assoc = 2;
+    Cache c(cfg);
+    // Cyclic sweep over 16 lines with true LRU always misses.
+    for (int round = 0; round < 4; ++round) {
+        for (Addr a = 0; a < 16 * 128; a += 128)
+            c.access(a);
+    }
+    EXPECT_EQ(c.hits(), 0u);
+    EXPECT_EQ(c.misses(), 64u);
+}
+
+/** Property sweep over geometries: hits+misses == accesses; a touched
+ *  line probes resident immediately after access. */
+struct Geometry
+{
+    std::uint64_t size;
+    unsigned line;
+    unsigned assoc;
+};
+
+class CacheGeometryTest : public ::testing::TestWithParam<Geometry>
+{
+};
+
+TEST_P(CacheGeometryTest, AccountingAndResidencyInvariants)
+{
+    const Geometry g = GetParam();
+    CacheConfig cfg;
+    cfg.sizeBytes = g.size;
+    cfg.lineBytes = g.line;
+    cfg.assoc = g.assoc;
+    Cache c(cfg);
+
+    si::Rng rng(g.size ^ g.line);
+    const unsigned accesses = 2000;
+    for (unsigned i = 0; i < accesses; ++i) {
+        const Addr a = rng.below(1u << 18);
+        c.access(a);
+        EXPECT_TRUE(c.probe(a));
+    }
+    EXPECT_EQ(c.hits() + c.misses(), accesses);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometryTest,
+    ::testing::Values(Geometry{1024, 128, 2}, Geometry{4096, 64, 4},
+                      Geometry{16384, 128, 4}, Geometry{65536, 128, 8},
+                      Geometry{131072, 128, 8}, Geometry{2048, 32, 1},
+                      Geometry{8192, 256, 2}));
+
+using CacheDeathTest = CacheGeometryTest;
+
+TEST(CacheDeath, RejectsNonPowerOfTwoLine)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 1024;
+    cfg.lineBytes = 100;
+    cfg.assoc = 2;
+    EXPECT_EXIT(Cache c(cfg), ::testing::ExitedWithCode(1),
+                "power of two");
+}
+
+TEST(CacheDeath, RejectsZeroAssoc)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 1024;
+    cfg.lineBytes = 128;
+    cfg.assoc = 0;
+    EXPECT_EXIT(Cache c(cfg), ::testing::ExitedWithCode(1), "assoc");
+}

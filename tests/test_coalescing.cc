@@ -1,0 +1,101 @@
+/** @file Global-memory coalescing: one transaction per unique line. */
+
+#include <gtest/gtest.h>
+
+#include "core/gpu.hh"
+#include "isa/assembler.hh"
+
+using namespace si;
+
+namespace {
+
+GpuResult
+run(const char *src)
+{
+    GpuConfig cfg;
+    cfg.numSms = 1;
+    Memory mem;
+    return simulate(cfg, mem, assembleOrDie(src), {1, 1});
+}
+
+} // namespace
+
+TEST(Coalescing, FullyCoalescedWarpIsOneTransaction)
+{
+    // All 32 lanes load consecutive words of one 128B line.
+    const GpuResult r = run(R"(
+S2R R0, LANEID
+SHL R1, R0, 2
+MOV R2, 0x100000
+IADD R1, R1, R2
+LDG R3, [R1+0] &wr=sb0
+FADD R4, R3, R3 &req=sb0
+EXIT
+)");
+    EXPECT_EQ(r.total.gmemTransactions, 1u);
+    EXPECT_EQ(r.total.l1dMisses, 1u);
+}
+
+TEST(Coalescing, FullyScatteredWarpIs32Transactions)
+{
+    // Each lane strides 256B: 32 distinct lines.
+    const GpuResult r = run(R"(
+S2R R0, LANEID
+SHL R1, R0, 8
+MOV R2, 0x100000
+IADD R1, R1, R2
+LDG R3, [R1+0] &wr=sb0
+FADD R4, R3, R3 &req=sb0
+EXIT
+)");
+    EXPECT_EQ(r.total.gmemTransactions, 32u);
+    EXPECT_EQ(r.total.l1dMisses, 32u);
+}
+
+TEST(Coalescing, TwoLineStraddleIsTwoTransactions)
+{
+    // 8-byte stride: 32 lanes cover 256B = exactly 2 lines.
+    const GpuResult r = run(R"(
+S2R R0, LANEID
+SHL R1, R0, 3
+MOV R2, 0x100000
+IADD R1, R1, R2
+LDG R3, [R1+0] &wr=sb0
+FADD R4, R3, R3 &req=sb0
+EXIT
+)");
+    EXPECT_EQ(r.total.gmemTransactions, 2u);
+}
+
+TEST(Coalescing, GuardedLanesDoNotGenerateTraffic)
+{
+    const GpuResult r = run(R"(
+S2R R0, LANEID
+SHL R1, R0, 8
+MOV R2, 0x100000
+IADD R1, R1, R2
+ISETP.LT P0, R0, 4
+@P0 LDG R3, [R1+0] &wr=sb0
+FADD R4, R3, R3 &req=sb0
+EXIT
+)");
+    EXPECT_EQ(r.total.gmemTransactions, 4u);
+}
+
+TEST(Coalescing, RepeatedAccessHitsWithoutNewMisses)
+{
+    const GpuResult r = run(R"(
+S2R R0, LANEID
+SHL R1, R0, 2
+MOV R2, 0x100000
+IADD R1, R1, R2
+LDG R3, [R1+0] &wr=sb0
+FADD R4, R3, R3 &req=sb0
+LDG R5, [R1+0] &wr=sb1
+FADD R6, R5, R5 &req=sb1
+EXIT
+)");
+    EXPECT_EQ(r.total.gmemTransactions, 2u);
+    EXPECT_EQ(r.total.l1dMisses, 1u);
+    EXPECT_EQ(r.total.l1dHits, 1u);
+}

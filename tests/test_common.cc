@@ -1,0 +1,111 @@
+/** @file Unit tests for the RNG and statistics utilities. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    si::Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    si::Rng a(1), b(2);
+    unsigned same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4u);
+}
+
+TEST(Rng, BelowStaysInBounds)
+{
+    si::Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    si::Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    si::Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const float u = rng.uniform();
+        ASSERT_GE(u, 0.0f);
+        ASSERT_LT(u, 1.0f);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRange)
+{
+    si::Rng rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        const float u = rng.uniform(2.0f, 5.0f);
+        EXPECT_GE(u, 2.0f);
+        EXPECT_LT(u, 5.0f);
+    }
+}
+
+TEST(Rng, ChanceFrequency)
+{
+    si::Rng rng(17);
+    unsigned hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(0.25f);
+    EXPECT_NEAR(double(hits) / 10000.0, 0.25, 0.03);
+}
+
+TEST(StatGroup, ScalarRegistrationAndDump)
+{
+    si::StatGroup g("sm0");
+    auto &cycles = g.scalar("cycles");
+    auto &instrs = g.scalar("instrs");
+    cycles = 100;
+    instrs = 42;
+    const std::string dump = g.dump();
+    EXPECT_NE(dump.find("sm0.cycles"), std::string::npos);
+    EXPECT_NE(dump.find("100"), std::string::npos);
+    EXPECT_NE(dump.find("42"), std::string::npos);
+}
+
+TEST(StatGroup, ScalarReferencesStableAcrossGrowth)
+{
+    si::StatGroup g("g");
+    auto &first = g.scalar("first");
+    for (int i = 0; i < 100; ++i)
+        g.scalar("s" + std::to_string(i));
+    first = 7;
+    EXPECT_NE(g.dump().find("g.first"), std::string::npos);
+    EXPECT_NE(g.dump().find("7"), std::string::npos);
+}
+
+TEST(StatGroup, FormulaEvaluatedAtDumpTime)
+{
+    si::StatGroup g("g");
+    auto &n = g.scalar("n");
+    g.formula("half", [&]() { return double(n) / 2.0; });
+    n = 10;
+    EXPECT_NE(g.dump().find("5.0000"), std::string::npos);
+    n = 30;
+    EXPECT_NE(g.dump().find("15.0000"), std::string::npos);
+}

@@ -1,0 +1,73 @@
+/** @file Disassembler coverage: every opcode renders its mnemonic. */
+
+#include <gtest/gtest.h>
+
+#include "isa/instr.hh"
+
+using namespace si;
+
+TEST(DisasmCoverage, EveryOpcodeRendersItsMnemonic)
+{
+    for (unsigned o = 0; o < unsigned(Opcode::NumOpcodes); ++o) {
+        Instr in;
+        in.op = Opcode(o);
+        in.dst = 1;
+        in.srcA = 2;
+        in.srcB = 3;
+        in.srcC = 4;
+        in.pdst = 0;
+        in.bar = 0;
+        const std::string d = in.disasm();
+        EXPECT_NE(d.find(opcodeName(in.op)), std::string::npos)
+            << "opcode " << o;
+        // Mnemonic table must not fall through to the placeholder.
+        EXPECT_STRNE(opcodeName(in.op), "???") << "opcode " << o;
+    }
+}
+
+TEST(DisasmCoverage, EveryOpcodeHasATimingClass)
+{
+    for (unsigned o = 0; o < unsigned(Opcode::NumOpcodes); ++o) {
+        const OpClass c = opClassOf(Opcode(o));
+        // Long-latency classification is consistent with the class.
+        const bool longlat = isLongLatency(Opcode(o));
+        const bool mem_class = c == OpClass::GlobalLoad ||
+                               c == OpClass::Texture ||
+                               c == OpClass::RtQuery;
+        EXPECT_EQ(longlat, mem_class) << "opcode " << o;
+    }
+}
+
+TEST(DisasmCoverage, EveryCmpOpRenders)
+{
+    for (CmpOp cmp : {CmpOp::LT, CmpOp::LE, CmpOp::GT, CmpOp::GE,
+                      CmpOp::EQ, CmpOp::NE}) {
+        EXPECT_STRNE(cmpName(cmp), "??");
+        Instr in;
+        in.op = Opcode::ISETP;
+        in.pdst = 2;
+        in.srcA = 1;
+        in.srcB = 3;
+        in.cmp = cmp;
+        EXPECT_NE(in.disasm().find(cmpName(cmp)), std::string::npos);
+    }
+}
+
+TEST(DisasmCoverage, ImmediateFormsRender)
+{
+    Instr in;
+    in.op = Opcode::IADD;
+    in.dst = 1;
+    in.srcA = 2;
+    in.bImm = true;
+    in.imm = -42;
+    EXPECT_NE(in.disasm().find("-42"), std::string::npos);
+
+    Instr fin;
+    fin.op = Opcode::FMUL;
+    fin.dst = 1;
+    fin.srcA = 2;
+    fin.bImm = true;
+    fin.imm = Instr::fbits(2.5f);
+    EXPECT_NE(fin.disasm().find("2.5"), std::string::npos);
+}

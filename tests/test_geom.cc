@@ -1,0 +1,167 @@
+/** @file Unit tests for the geometry kit (Vec3, AABB, Möller–Trumbore). */
+
+#include <gtest/gtest.h>
+
+#include "rtcore/geom.hh"
+
+using namespace si;
+
+TEST(Vec3, Arithmetic)
+{
+    const Vec3 a{1, 2, 3}, b{4, 5, 6};
+    const Vec3 s = a + b;
+    EXPECT_FLOAT_EQ(s.x, 5);
+    EXPECT_FLOAT_EQ(s.y, 7);
+    EXPECT_FLOAT_EQ(s.z, 9);
+    const Vec3 d = b - a;
+    EXPECT_FLOAT_EQ(d.x, 3);
+    EXPECT_FLOAT_EQ((a * 2.0f).y, 4);
+    EXPECT_FLOAT_EQ((b / 2.0f).z, 3);
+}
+
+TEST(Vec3, DotAndCross)
+{
+    const Vec3 x{1, 0, 0}, y{0, 1, 0}, z{0, 0, 1};
+    EXPECT_FLOAT_EQ(x.dot(y), 0);
+    EXPECT_FLOAT_EQ(x.dot(x), 1);
+    const Vec3 c = x.cross(y);
+    EXPECT_FLOAT_EQ(c.x, z.x);
+    EXPECT_FLOAT_EQ(c.y, z.y);
+    EXPECT_FLOAT_EQ(c.z, z.z);
+}
+
+TEST(Vec3, Normalized)
+{
+    const Vec3 v{3, 0, 4};
+    const Vec3 n = v.normalized();
+    EXPECT_NEAR(n.length(), 1.0f, 1e-6f);
+    EXPECT_NEAR(n.x, 0.6f, 1e-6f);
+    // Degenerate zero vector gets a valid fallback.
+    const Vec3 zero{0, 0, 0};
+    EXPECT_NEAR(zero.normalized().length(), 1.0f, 1e-6f);
+}
+
+TEST(Aabb, ExpandAndCentroid)
+{
+    Aabb b;
+    b.expand({1, 2, 3});
+    b.expand({-1, 4, 0});
+    EXPECT_FLOAT_EQ(b.lo.x, -1);
+    EXPECT_FLOAT_EQ(b.hi.y, 4);
+    EXPECT_FLOAT_EQ(b.centroid().z, 1.5f);
+}
+
+TEST(Aabb, Area)
+{
+    Aabb b;
+    b.expand({0, 0, 0});
+    b.expand({2, 3, 4});
+    EXPECT_FLOAT_EQ(b.area(), 2 * (6.0f + 12.0f + 8.0f));
+    EXPECT_FLOAT_EQ(Aabb{}.area(), 0.0f);
+}
+
+TEST(Aabb, RaySlabHit)
+{
+    Aabb b;
+    b.expand({0, 0, 0});
+    b.expand({1, 1, 1});
+
+    Ray hit;
+    hit.origin = {0.5f, 0.5f, -1};
+    hit.dir = {0, 0, 1};
+    EXPECT_TRUE(b.hit(hit, 1e30f));
+
+    Ray miss = hit;
+    miss.dir = {0, 0, -1}; // pointing away
+    EXPECT_FALSE(b.hit(miss, 1e30f));
+
+    Ray offside = hit;
+    offside.origin = {2.5f, 0.5f, -1};
+    EXPECT_FALSE(b.hit(offside, 1e30f));
+
+    // tMax clipping: box is beyond the allowed interval.
+    EXPECT_FALSE(b.hit(hit, 0.5f));
+}
+
+TEST(Aabb, RayStartingInsideHits)
+{
+    Aabb b;
+    b.expand({0, 0, 0});
+    b.expand({2, 2, 2});
+    Ray r;
+    r.origin = {1, 1, 1};
+    r.dir = {0, 1, 0};
+    EXPECT_TRUE(b.hit(r, 1e30f));
+}
+
+TEST(Triangle, BoundsAndNormal)
+{
+    const Triangle t{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, 3};
+    const Aabb b = t.bounds();
+    EXPECT_FLOAT_EQ(b.lo.x, 0);
+    EXPECT_FLOAT_EQ(b.hi.y, 1);
+    const Vec3 n = t.normal();
+    EXPECT_NEAR(n.z, 1.0f, 1e-6f);
+    EXPECT_EQ(t.materialId, 3u);
+}
+
+TEST(Intersect, CenterHit)
+{
+    const Triangle t{{-1, -1, 5}, {1, -1, 5}, {0, 1, 5}, 7};
+    Ray r;
+    r.origin = {0, 0, 0};
+    r.dir = {0, 0, 1};
+    const Hit h = intersect(r, t, 1e30f);
+    ASSERT_TRUE(h.valid);
+    EXPECT_NEAR(h.t, 5.0f, 1e-5f);
+    EXPECT_EQ(h.materialId, 7u);
+    EXPECT_GE(h.u, 0.0f);
+    EXPECT_GE(h.v, 0.0f);
+    EXPECT_LE(h.u + h.v, 1.0f);
+}
+
+TEST(Intersect, MissOutsideTriangle)
+{
+    const Triangle t{{-1, -1, 5}, {1, -1, 5}, {0, 1, 5}, 0};
+    Ray r;
+    r.origin = {5, 5, 0};
+    r.dir = {0, 0, 1};
+    EXPECT_FALSE(intersect(r, t, 1e30f).valid);
+}
+
+TEST(Intersect, BehindOriginRejected)
+{
+    const Triangle t{{-1, -1, -5}, {1, -1, -5}, {0, 1, -5}, 0};
+    Ray r;
+    r.origin = {0, 0, 0};
+    r.dir = {0, 0, 1};
+    EXPECT_FALSE(intersect(r, t, 1e30f).valid);
+}
+
+TEST(Intersect, ParallelRayRejected)
+{
+    const Triangle t{{-1, -1, 5}, {1, -1, 5}, {0, 1, 5}, 0};
+    Ray r;
+    r.origin = {0, 0, 0};
+    r.dir = {1, 0, 0}; // parallel to the triangle plane
+    EXPECT_FALSE(intersect(r, t, 1e30f).valid);
+}
+
+TEST(Intersect, TmaxClipsFartherHit)
+{
+    const Triangle t{{-1, -1, 5}, {1, -1, 5}, {0, 1, 5}, 0};
+    Ray r;
+    r.origin = {0, 0, 0};
+    r.dir = {0, 0, 1};
+    EXPECT_FALSE(intersect(r, t, 4.0f).valid);
+    EXPECT_TRUE(intersect(r, t, 6.0f).valid);
+}
+
+TEST(Intersect, TminRejectsGrazingSelfHit)
+{
+    const Triangle t{{-1, -1, 0}, {1, -1, 0}, {0, 1, 0}, 0};
+    Ray r;
+    r.origin = {0, 0, 0}; // on the triangle
+    r.dir = {0, 0, 1};
+    EXPECT_FALSE(intersect(r, t, 1e30f).valid); // t == 0 < tMin
+}

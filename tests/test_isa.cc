@@ -1,0 +1,191 @@
+/** @file Unit tests for opcodes, Instr, Program validation, disasm. */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "isa/program.hh"
+
+using namespace si;
+
+TEST(Opcode, TimingClasses)
+{
+    EXPECT_EQ(opClassOf(Opcode::IADD), OpClass::Alu);
+    EXPECT_EQ(opClassOf(Opcode::FFMA), OpClass::HeavyAlu);
+    EXPECT_EQ(opClassOf(Opcode::FRCP), OpClass::Transcendental);
+    EXPECT_EQ(opClassOf(Opcode::LDC), OpClass::ConstLoad);
+    EXPECT_EQ(opClassOf(Opcode::LDG), OpClass::GlobalLoad);
+    EXPECT_EQ(opClassOf(Opcode::STG), OpClass::Store);
+    EXPECT_EQ(opClassOf(Opcode::TEX), OpClass::Texture);
+    EXPECT_EQ(opClassOf(Opcode::TLD), OpClass::Texture);
+    EXPECT_EQ(opClassOf(Opcode::RTQUERY), OpClass::RtQuery);
+    EXPECT_EQ(opClassOf(Opcode::BSYNC), OpClass::Control);
+}
+
+TEST(Opcode, LongLatencyOps)
+{
+    EXPECT_TRUE(isLongLatency(Opcode::LDG));
+    EXPECT_TRUE(isLongLatency(Opcode::TEX));
+    EXPECT_TRUE(isLongLatency(Opcode::TLD));
+    EXPECT_TRUE(isLongLatency(Opcode::RTQUERY));
+    EXPECT_FALSE(isLongLatency(Opcode::LDC));
+    EXPECT_FALSE(isLongLatency(Opcode::FFMA));
+    EXPECT_FALSE(isLongLatency(Opcode::STG));
+}
+
+TEST(Instr, FloatBitsRoundTrip)
+{
+    for (float f : {0.0f, 1.0f, -2.5f, 3.14159f, 1e-20f, -1e20f}) {
+        EXPECT_EQ(Instr::bitsToFloat(Instr::fbits(f)), f);
+    }
+}
+
+TEST(Instr, FluentAnnotations)
+{
+    Instr in;
+    in.op = Opcode::LDG;
+    in.wr(3).req(1).req(5);
+    EXPECT_EQ(in.wrSb, 3);
+    EXPECT_EQ(in.reqSbMask, (1u << 1) | (1u << 5));
+    in.pred(2, true);
+    EXPECT_EQ(in.guard, 2);
+    EXPECT_TRUE(in.guardNeg);
+}
+
+TEST(Instr, DisasmContainsAnnotations)
+{
+    Instr in;
+    in.op = Opcode::LDG;
+    in.dst = 2;
+    in.srcA = 1;
+    in.imm = 8;
+    in.wr(5);
+    const std::string d = in.disasm();
+    EXPECT_NE(d.find("LDG"), std::string::npos);
+    EXPECT_NE(d.find("R2"), std::string::npos);
+    EXPECT_NE(d.find("[R1+8]"), std::string::npos);
+    EXPECT_NE(d.find("&wr=sb5"), std::string::npos);
+}
+
+TEST(Instr, DisasmGuard)
+{
+    Instr in;
+    in.op = Opcode::BRA;
+    in.target = 12;
+    in.pred(0, true);
+    EXPECT_EQ(in.disasm().rfind("@!P0", 0), 0u);
+}
+
+TEST(Program, CheckAcceptsMinimalKernel)
+{
+    KernelBuilder kb("ok");
+    kb.exit();
+    const Program p = kb.build(16);
+    EXPECT_EQ(p.check(), "");
+    EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(Program, CheckRejectsMissingExit)
+{
+    std::vector<Instr> instrs(1);
+    instrs[0].op = Opcode::NOP;
+    Program p("bad", instrs, 16);
+    EXPECT_NE(p.check(), "");
+}
+
+TEST(Program, CheckRejectsOutOfRangeTarget)
+{
+    std::vector<Instr> instrs(2);
+    instrs[0].op = Opcode::BRA;
+    instrs[0].target = 99;
+    instrs[1].op = Opcode::EXIT;
+    Program p("bad", instrs, 16);
+    EXPECT_NE(p.check().find("target"), std::string::npos);
+}
+
+TEST(Program, CheckRejectsRegisterBeyondBudget)
+{
+    std::vector<Instr> instrs(2);
+    instrs[0].op = Opcode::MOV;
+    instrs[0].dst = 20;
+    instrs[0].bImm = true;
+    instrs[1].op = Opcode::EXIT;
+    Program p("bad", instrs, 16);
+    EXPECT_NE(p.check().find("register"), std::string::npos);
+}
+
+TEST(Program, CheckRejectsScoreboardOnShortOp)
+{
+    std::vector<Instr> instrs(2);
+    instrs[0].op = Opcode::FADD;
+    instrs[0].dst = 1;
+    instrs[0].srcA = 1;
+    instrs[0].srcB = 1;
+    instrs[0].wrSb = 2;
+    instrs[1].op = Opcode::EXIT;
+    Program p("bad", instrs, 16);
+    EXPECT_NE(p.check().find("fixed-latency"), std::string::npos);
+}
+
+TEST(Program, InstrAddressesAreLinear)
+{
+    KernelBuilder kb("addr");
+    kb.nop();
+    kb.nop();
+    kb.exit();
+    const Program p = kb.build(8);
+    EXPECT_EQ(p.instrAddr(1) - p.instrAddr(0), Program::bytesPerInstr);
+    EXPECT_EQ(p.instrAddr(0), p.baseAddr());
+}
+
+TEST(Builder, ForwardLabelResolution)
+{
+    KernelBuilder kb("fwd");
+    Label target = kb.newLabel("target");
+    kb.bra(target);
+    kb.nop();
+    kb.bind(target);
+    kb.exit();
+    const Program p = kb.build(8);
+    EXPECT_EQ(p.at(0).target, 2u);
+    EXPECT_EQ(p.labels().at("target"), 2u);
+}
+
+TEST(Builder, BackwardLabelResolution)
+{
+    KernelBuilder kb("bwd");
+    Label top = kb.newLabel("top");
+    kb.bind(top);
+    kb.isetpi(0, CmpOp::GT, 1, 0);
+    kb.bra(top).pred(0);
+    kb.exit();
+    const Program p = kb.build(8);
+    EXPECT_EQ(p.at(1).target, 0u);
+}
+
+TEST(Builder, EmitsExpectedEncodings)
+{
+    KernelBuilder kb("enc");
+    kb.imadi(3, 1, 32, 2);
+    kb.ldg(4, 3, 8).wr(0);
+    kb.fadd(5, 4, 4).req(0);
+    kb.exit();
+    const Program p = kb.build(16);
+    EXPECT_EQ(p.at(0).op, Opcode::IMAD);
+    EXPECT_TRUE(p.at(0).bImm);
+    EXPECT_EQ(p.at(0).imm, 32);
+    EXPECT_EQ(p.at(1).wrSb, 0);
+    EXPECT_EQ(p.at(2).reqSbMask, 1u);
+}
+
+TEST(Builder, DisasmListsLabels)
+{
+    KernelBuilder kb("lbl");
+    Label l = kb.newLabel("loop");
+    kb.bind(l);
+    kb.bra(l);
+    kb.exit();
+    const Program p = kb.build(8);
+    const std::string d = p.disasm();
+    EXPECT_NE(d.find("loop:"), std::string::npos);
+    EXPECT_NE(d.find("BRA"), std::string::npos);
+}

@@ -1,0 +1,121 @@
+/** @file Structural properties of generated megakernels. */
+
+#include <gtest/gtest.h>
+
+#include "rt/megakernel.hh"
+
+using namespace si;
+
+namespace {
+
+Workload
+makeWorkload(unsigned shaders, unsigned bounces, unsigned math = 16)
+{
+    SceneConfig sc;
+    sc.numMaterials = shaders;
+    sc.targetTriangles = 1200;
+    sc.seed = 3;
+    MegakernelConfig mc;
+    mc.numShaders = shaders;
+    mc.bounces = bounces;
+    mc.mathPerShader = math;
+    mc.numWarps = 2;
+    return buildMegakernel(mc, makeScene(sc));
+}
+
+unsigned
+countOp(const Program &p, Opcode op)
+{
+    unsigned n = 0;
+    for (const Instr &in : p.instrs())
+        n += in.op == op ? 1 : 0;
+    return n;
+}
+
+} // namespace
+
+TEST(MegakernelStructure, OneRtQueryInTheLoop)
+{
+    const Workload wl = makeWorkload(4, 3);
+    EXPECT_EQ(countOp(wl.program, Opcode::RTQUERY), 1u);
+    EXPECT_EQ(countOp(wl.program, Opcode::BSYNC), 1u);
+    EXPECT_EQ(countOp(wl.program, Opcode::BSSY), 1u);
+    EXPECT_EQ(countOp(wl.program, Opcode::EXIT), 1u);
+}
+
+TEST(MegakernelStructure, DispatchScalesWithShaderCount)
+{
+    // K shaders need K-1 dispatch compares and K hit-shader bodies.
+    const Workload k2 = makeWorkload(2, 1);
+    const Workload k8 = makeWorkload(8, 1);
+    EXPECT_GT(k8.program.size(), k2.program.size() + 100);
+    // Each shader carries exactly one emissive-termination FSETP.
+    EXPECT_EQ(countOp(k2.program, Opcode::FSETP), 2u);
+    EXPECT_EQ(countOp(k8.program, Opcode::FSETP), 8u);
+}
+
+TEST(MegakernelStructure, MathKnobScalesShaderBodies)
+{
+    const Workload lean = makeWorkload(4, 1, 8);
+    const Workload heavy = makeWorkload(4, 1, 48);
+    EXPECT_GT(heavy.program.size(), lean.program.size() + 80);
+}
+
+TEST(MegakernelStructure, ScoreboardDisciplineEveryLongOpIsTagged)
+{
+    const Workload wl = makeWorkload(6, 2);
+    for (const Instr &in : wl.program.instrs()) {
+        if (isLongLatency(in.op)) {
+            EXPECT_NE(in.wrSb, sbNone) << in.disasm();
+        }
+    }
+}
+
+TEST(MegakernelStructure, EveryScoreboardWrittenIsEventuallyRequired)
+{
+    const Workload wl = makeWorkload(6, 2);
+    std::uint8_t written = 0, required = 0;
+    for (const Instr &in : wl.program.instrs()) {
+        if (in.wrSb != sbNone)
+            written |= std::uint8_t(1u << in.wrSb);
+        required |= in.reqSbMask;
+    }
+    EXPECT_EQ(written & ~required, 0)
+        << "some scoreboard is produced but never consumed";
+}
+
+TEST(MegakernelStructure, MemoryImageCoversAllBuffers)
+{
+    const Workload wl = makeWorkload(4, 1);
+    const Memory &mem = *wl.memory;
+    // Constants installed for every segment the kernel dereferences.
+    EXPECT_EQ(mem.readConst(std::uint32_t(layout::cRayBuf)),
+              std::uint32_t(layout::rayBufBase));
+    EXPECT_EQ(mem.readConst(std::uint32_t(layout::cNormalBuf)),
+              std::uint32_t(layout::normalBufBase));
+    EXPECT_EQ(mem.readConst(std::uint32_t(layout::cMatBuf)),
+              std::uint32_t(layout::matBufBase));
+    EXPECT_EQ(mem.readConst(std::uint32_t(layout::cOutBuf)),
+              std::uint32_t(layout::outBufBase));
+    // Rays present for every thread; normals for every triangle.
+    const unsigned threads = wl.launch.numWarps * warpSize;
+    for (unsigned t = 0; t < threads; ++t) {
+        const Addr base = layout::rayBufBase + Addr(t) * 32;
+        const float dz = mem.readF(base + 20);
+        EXPECT_NE(mem.read(base + 24), 0u); // seed nonzero
+        (void)dz;
+    }
+    const Vec3 n0 = wl.scene->triangles[0].normal();
+    EXPECT_FLOAT_EQ(mem.readF(layout::normalBufBase + 0), n0.x);
+}
+
+TEST(MegakernelStructure, DeterministicForSameSeed)
+{
+    const Workload a = makeWorkload(4, 2);
+    const Workload b = makeWorkload(4, 2);
+    ASSERT_EQ(a.program.size(), b.program.size());
+    for (std::uint32_t pc = 0; pc < a.program.size(); ++pc) {
+        EXPECT_EQ(int(a.program.at(pc).op), int(b.program.at(pc).op));
+        EXPECT_EQ(a.program.at(pc).imm, b.program.at(pc).imm);
+    }
+}

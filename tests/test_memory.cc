@@ -1,0 +1,73 @@
+/** @file Unit tests for functional memory and the constant bank. */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory.hh"
+
+TEST(Memory, UnwrittenReadsZero)
+{
+    si::Memory m;
+    EXPECT_EQ(m.read(0x1234), 0u);
+    EXPECT_EQ(m.read(0xffffffffull), 0u);
+}
+
+TEST(Memory, WriteReadRoundTrip)
+{
+    si::Memory m;
+    m.write(0x1000, 0xdeadbeefu);
+    EXPECT_EQ(m.read(0x1000), 0xdeadbeefu);
+}
+
+TEST(Memory, WordAlignmentSharesStorage)
+{
+    si::Memory m;
+    m.write(0x1001, 7); // aligns down to 0x1000
+    EXPECT_EQ(m.read(0x1000), 7u);
+    EXPECT_EQ(m.read(0x1003), 7u);
+    EXPECT_EQ(m.read(0x1004), 0u);
+}
+
+TEST(Memory, FloatRoundTrip)
+{
+    si::Memory m;
+    m.writeF(0x2000, 3.14159f);
+    EXPECT_FLOAT_EQ(m.readF(0x2000), 3.14159f);
+    m.writeF(0x2004, -0.0f);
+    EXPECT_EQ(m.readF(0x2004), 0.0f);
+}
+
+TEST(Memory, FillPoursVector)
+{
+    si::Memory m;
+    m.fill(0x100, {1, 2, 3, 4});
+    EXPECT_EQ(m.read(0x100), 1u);
+    EXPECT_EQ(m.read(0x104), 2u);
+    EXPECT_EQ(m.read(0x108), 3u);
+    EXPECT_EQ(m.read(0x10c), 4u);
+    EXPECT_EQ(m.footprintWords(), 4u);
+}
+
+TEST(Memory, ConstBankDefaultsZeroAndGrows)
+{
+    si::Memory m;
+    EXPECT_EQ(m.readConst(0), 0u);
+    EXPECT_EQ(m.readConst(400), 0u);
+    m.writeConst(16, 99);
+    EXPECT_EQ(m.readConst(16), 99u);
+    EXPECT_EQ(m.readConst(12), 0u);
+    EXPECT_EQ(m.readConst(20), 0u);
+}
+
+TEST(Memory, CopyIsIndependent)
+{
+    si::Memory a;
+    a.write(0x10, 1);
+    a.writeConst(0, 5);
+    si::Memory b = a;
+    b.write(0x10, 2);
+    b.writeConst(0, 6);
+    EXPECT_EQ(a.read(0x10), 1u);
+    EXPECT_EQ(a.readConst(0), 5u);
+    EXPECT_EQ(b.read(0x10), 2u);
+    EXPECT_EQ(b.readConst(0), 6u);
+}

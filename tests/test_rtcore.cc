@@ -1,0 +1,121 @@
+/** @file RT-core timing unit: latency model and pipe queueing. */
+
+#include <gtest/gtest.h>
+
+#include "rtcore/rtcore.hh"
+
+using namespace si;
+
+namespace {
+
+Bvh &
+testBvh()
+{
+    static Bvh bvh{{Triangle{{-5, -5, 10}, {5, -5, 10}, {0, 5, 10}, 1}}};
+    return bvh;
+}
+
+std::array<Ray, warpSize>
+forwardRays()
+{
+    std::array<Ray, warpSize> rays;
+    for (auto &r : rays) {
+        r.origin = {0, 0, 0};
+        r.dir = {0, 0, 1};
+    }
+    return rays;
+}
+
+} // namespace
+
+TEST(RtCore, FunctionalHitResults)
+{
+    RtCoreConfig cfg;
+    RtCore rt(&testBvh(), cfg);
+    const auto res = rt.query(0, ThreadMask::full(), forwardRays());
+    for (unsigned lane = 0; lane < warpSize; ++lane) {
+        ASSERT_TRUE(res.hits[lane].valid);
+        EXPECT_NEAR(res.hits[lane].t, 10.0f, 1e-4f);
+        EXPECT_EQ(res.hits[lane].materialId, 1u);
+    }
+}
+
+TEST(RtCore, OnlyMaskedLanesAreTraced)
+{
+    RtCoreConfig cfg;
+    RtCore rt(&testBvh(), cfg);
+    ThreadMask mask;
+    mask.set(3);
+    mask.set(17);
+    rt.query(0, mask, forwardRays());
+    EXPECT_EQ(rt.numRays(), 2u);
+    EXPECT_EQ(rt.numQueries(), 1u);
+}
+
+TEST(RtCore, LatencyIncludesBaseAndPerNodeWork)
+{
+    RtCoreConfig cfg;
+    cfg.baseLatency = 100;
+    cfg.cyclesPerNode = 10.0f;
+    RtCore rt(&testBvh(), cfg);
+    const auto res = rt.query(0, ThreadMask::full(), forwardRays());
+    EXPECT_GE(res.latency, 100u + 10u); // at least one node visited
+    EXPECT_EQ(res.latency, 100u + 10u * res.maxNodesVisited);
+}
+
+TEST(RtCore, PipeQueueingSerializesBeyondConcurrency)
+{
+    RtCoreConfig cfg;
+    cfg.baseLatency = 100;
+    cfg.cyclesPerNode = 0.0f;
+    cfg.numPipes = 2;
+    RtCore rt(&testBvh(), cfg);
+    const auto rays = forwardRays();
+
+    // Two queries fill both pipes at the base latency...
+    EXPECT_EQ(rt.query(0, ThreadMask::full(), rays).latency, 100u);
+    EXPECT_EQ(rt.query(0, ThreadMask::full(), rays).latency, 100u);
+    // ...the third queues behind the first.
+    EXPECT_EQ(rt.query(0, ThreadMask::full(), rays).latency, 200u);
+    // A later query grabs the earlier-free pipe (free at 100 < 150):
+    // it starts immediately, so only the service time is charged.
+    EXPECT_EQ(rt.query(150, ThreadMask::full(), rays).latency, 100u);
+}
+
+TEST(RtCore, ResetClearsPipesAndStats)
+{
+    RtCoreConfig cfg;
+    cfg.numPipes = 1;
+    RtCore rt(&testBvh(), cfg);
+    const auto rays = forwardRays();
+    rt.query(0, ThreadMask::full(), rays);
+    rt.query(0, ThreadMask::full(), rays);
+    rt.reset();
+    EXPECT_EQ(rt.numQueries(), 0u);
+    EXPECT_EQ(rt.numRays(), 0u);
+    // Pipe occupancy is cleared: latency back to unqueued.
+    const auto res = rt.query(0, ThreadMask::full(), rays);
+    EXPECT_EQ(res.latency,
+              cfg.baseLatency +
+                  Cycle(cfg.cyclesPerNode * res.maxNodesVisited));
+}
+
+TEST(RtCore, MissReturnsInvalidHit)
+{
+    RtCoreConfig cfg;
+    RtCore rt(&testBvh(), cfg);
+    auto rays = forwardRays();
+    for (auto &r : rays)
+        r.dir = {0, 0, -1}; // away from the triangle
+    const auto res = rt.query(0, ThreadMask::full(), rays);
+    EXPECT_FALSE(res.hits[0].valid);
+}
+
+TEST(RtCore, HasSceneReflectsAttachment)
+{
+    RtCoreConfig cfg;
+    RtCore with(&testBvh(), cfg);
+    RtCore without(nullptr, cfg);
+    EXPECT_TRUE(with.hasScene());
+    EXPECT_FALSE(without.hasScene());
+}

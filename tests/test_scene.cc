@@ -1,0 +1,95 @@
+/** @file Procedural scene generation invariants. */
+
+#include <gtest/gtest.h>
+
+#include "rt/scene.hh"
+
+using namespace si;
+
+class SceneLayoutTest : public ::testing::TestWithParam<SceneLayout>
+{
+};
+
+TEST_P(SceneLayoutTest, RespectsTriangleBudgetAndMaterials)
+{
+    SceneConfig cfg;
+    cfg.layout = GetParam();
+    cfg.targetTriangles = 5000;
+    cfg.numMaterials = 6;
+    cfg.seed = 33;
+    auto scene = makeScene(cfg);
+
+    EXPECT_GT(scene->triangles.size(), 100u);
+    EXPECT_LE(scene->triangles.size(), cfg.targetTriangles + 2);
+    for (const auto &t : scene->triangles)
+        EXPECT_LT(t.materialId, cfg.numMaterials);
+    EXPECT_EQ(scene->bvh.numTriangles(), scene->triangles.size());
+}
+
+TEST_P(SceneLayoutTest, CameraSeesTheScene)
+{
+    SceneConfig cfg;
+    cfg.layout = GetParam();
+    cfg.targetTriangles = 4000;
+    cfg.seed = 7;
+    auto scene = makeScene(cfg);
+
+    unsigned hits = 0;
+    const unsigned n = 16;
+    for (unsigned y = 0; y < n; ++y) {
+        for (unsigned x = 0; x < n; ++x) {
+            const Ray r = scene->primaryRay((x + 0.5f) / n,
+                                            (y + 0.5f) / n);
+            if (scene->bvh.trace(r).valid)
+                ++hits;
+        }
+    }
+    // A usable camera: at least a quarter of primary rays hit geometry.
+    EXPECT_GT(hits, n * n / 4);
+}
+
+TEST_P(SceneLayoutTest, DeterministicInSeed)
+{
+    SceneConfig cfg;
+    cfg.layout = GetParam();
+    cfg.targetTriangles = 2000;
+    cfg.seed = 5;
+    auto a = makeScene(cfg);
+    auto b = makeScene(cfg);
+    ASSERT_EQ(a->triangles.size(), b->triangles.size());
+    for (std::size_t i = 0; i < a->triangles.size(); ++i) {
+        EXPECT_EQ(a->triangles[i].v0.x, b->triangles[i].v0.x);
+        EXPECT_EQ(a->triangles[i].materialId, b->triangles[i].materialId);
+    }
+
+    cfg.seed = 6;
+    auto c = makeScene(cfg);
+    bool different = a->triangles.size() != c->triangles.size();
+    for (std::size_t i = 0;
+         !different && i < std::min(a->triangles.size(),
+                                    c->triangles.size());
+         ++i) {
+        different = a->triangles[i].v0.x != c->triangles[i].v0.x;
+    }
+    EXPECT_TRUE(different);
+}
+
+TEST_P(SceneLayoutTest, MultipleMaterialsActuallyAppear)
+{
+    SceneConfig cfg;
+    cfg.layout = GetParam();
+    cfg.targetTriangles = 4000;
+    cfg.numMaterials = 8;
+    cfg.seed = 11;
+    auto scene = makeScene(cfg);
+    std::set<std::uint32_t> mats;
+    for (const auto &t : scene->triangles)
+        mats.insert(t.materialId);
+    EXPECT_GE(mats.size(), 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, SceneLayoutTest,
+                         ::testing::Values(SceneLayout::Interior,
+                                           SceneLayout::Terrain,
+                                           SceneLayout::City,
+                                           SceneLayout::Scatter));

@@ -1,0 +1,100 @@
+/** @file Count-based scoreboard file semantics. */
+
+#include <gtest/gtest.h>
+
+#include "core/scoreboard.hh"
+
+using namespace si;
+
+TEST(Scoreboard, InitiallyReady)
+{
+    ScoreboardFile sb;
+    EXPECT_TRUE(sb.ready(ThreadMask::full(), 0xff));
+    EXPECT_EQ(sb.count(0, 0), 0);
+}
+
+TEST(Scoreboard, IncrBlocksOnlyMaskedLanes)
+{
+    ScoreboardFile sb;
+    ThreadMask half = ThreadMask::firstN(16);
+    sb.incr(half, 3);
+    EXPECT_FALSE(sb.ready(half, 1u << 3));
+    EXPECT_FALSE(sb.ready(ThreadMask::full(), 1u << 3));
+    // The other half is unaffected.
+    EXPECT_TRUE(sb.ready(ThreadMask::full() - half, 1u << 3));
+    // Other scoreboards unaffected.
+    EXPECT_TRUE(sb.ready(half, 1u << 2));
+}
+
+TEST(Scoreboard, CountsNest)
+{
+    ScoreboardFile sb;
+    const ThreadMask m = ThreadMask::lane(5);
+    sb.incr(m, 0);
+    sb.incr(m, 0);
+    EXPECT_EQ(sb.count(5, 0), 2);
+    sb.decr(m, 0);
+    EXPECT_FALSE(sb.ready(m, 1u));
+    sb.decr(m, 0);
+    EXPECT_TRUE(sb.ready(m, 1u));
+}
+
+TEST(Scoreboard, DecrSaturatesAtZero)
+{
+    ScoreboardFile sb;
+    sb.decr(ThreadMask::full(), 1);
+    EXPECT_EQ(sb.count(0, 1), 0);
+}
+
+TEST(Scoreboard, FirstBlockingFindsLowestOutstanding)
+{
+    ScoreboardFile sb;
+    const ThreadMask m = ThreadMask::firstN(4);
+    EXPECT_EQ(sb.firstBlocking(m, 0xff), sbNone);
+    sb.incr(m, 5);
+    sb.incr(m, 2);
+    EXPECT_EQ(sb.firstBlocking(m, 0xff), 2);
+    EXPECT_EQ(sb.firstBlocking(m, 1u << 5), 5);
+    EXPECT_EQ(sb.firstBlocking(m, 1u << 1), sbNone);
+}
+
+TEST(Scoreboard, MaxCountAcrossLanes)
+{
+    ScoreboardFile sb;
+    sb.incr(ThreadMask::lane(0), 4);
+    sb.incr(ThreadMask::lane(0), 4);
+    sb.incr(ThreadMask::lane(1), 4);
+    EXPECT_EQ(sb.maxCount(ThreadMask::firstN(2), 4), 2);
+    EXPECT_EQ(sb.maxCount(ThreadMask::lane(1), 4), 1);
+}
+
+TEST(Scoreboard, PerThreadReplicationAvoidsAliasing)
+{
+    // Two subwarps using the same scoreboard id must not block each
+    // other — the paper's rationale for per-subwarp counters.
+    ScoreboardFile sb;
+    const ThreadMask a = ThreadMask::firstN(16);
+    const ThreadMask b = ThreadMask::full() - a;
+    sb.incr(a, 0);
+    EXPECT_FALSE(sb.ready(a, 1u));
+    EXPECT_TRUE(sb.ready(b, 1u));
+    sb.incr(b, 0);
+    sb.decr(a, 0);
+    EXPECT_TRUE(sb.ready(a, 1u));
+    EXPECT_FALSE(sb.ready(b, 1u));
+}
+
+TEST(Scoreboard, ClearResetsAll)
+{
+    ScoreboardFile sb;
+    sb.incr(ThreadMask::full(), 7);
+    sb.clear();
+    EXPECT_TRUE(sb.ready(ThreadMask::full(), 0xff));
+}
+
+TEST(Scoreboard, ReadyWithEmptyReqMaskAlwaysTrue)
+{
+    ScoreboardFile sb;
+    sb.incr(ThreadMask::full(), 0);
+    EXPECT_TRUE(sb.ready(ThreadMask::full(), 0));
+}

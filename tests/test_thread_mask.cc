@@ -1,0 +1,141 @@
+/** @file Unit tests for ThreadMask set algebra and lane iteration. */
+
+#include <gtest/gtest.h>
+
+#include "common/thread_mask.hh"
+
+using si::ThreadMask;
+
+TEST(ThreadMask, DefaultIsEmpty)
+{
+    ThreadMask m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_FALSE(m.any());
+    EXPECT_EQ(m.count(), 0u);
+}
+
+TEST(ThreadMask, FullHas32Lanes)
+{
+    EXPECT_EQ(ThreadMask::full().count(), 32u);
+    for (unsigned l = 0; l < 32; ++l)
+        EXPECT_TRUE(ThreadMask::full().test(l));
+}
+
+TEST(ThreadMask, FirstN)
+{
+    EXPECT_EQ(ThreadMask::firstN(0).count(), 0u);
+    EXPECT_EQ(ThreadMask::firstN(5).count(), 5u);
+    EXPECT_EQ(ThreadMask::firstN(32).count(), 32u);
+    EXPECT_EQ(ThreadMask::firstN(40).count(), 32u); // clamped
+    EXPECT_TRUE(ThreadMask::firstN(5).test(4));
+    EXPECT_FALSE(ThreadMask::firstN(5).test(5));
+}
+
+TEST(ThreadMask, SetClearTest)
+{
+    ThreadMask m;
+    m.set(7);
+    m.set(31);
+    EXPECT_TRUE(m.test(7));
+    EXPECT_TRUE(m.test(31));
+    EXPECT_EQ(m.count(), 2u);
+    m.clear(7);
+    EXPECT_FALSE(m.test(7));
+    EXPECT_EQ(m.count(), 1u);
+}
+
+TEST(ThreadMask, Lowest)
+{
+    ThreadMask m;
+    m.set(13);
+    m.set(29);
+    EXPECT_EQ(m.lowest(), 13u);
+}
+
+TEST(ThreadMask, SetAlgebra)
+{
+    const ThreadMask a(0x0f0fu);
+    const ThreadMask b(0x00ffu);
+    EXPECT_EQ((a & b).raw(), 0x000fu);
+    EXPECT_EQ((a | b).raw(), 0x0fffu);
+    EXPECT_EQ((a - b).raw(), 0x0f00u);
+}
+
+TEST(ThreadMask, SubsetOf)
+{
+    EXPECT_TRUE(ThreadMask(0x3u).subsetOf(ThreadMask(0x7u)));
+    EXPECT_TRUE(ThreadMask(0x7u).subsetOf(ThreadMask(0x7u)));
+    EXPECT_FALSE(ThreadMask(0x8u).subsetOf(ThreadMask(0x7u)));
+    EXPECT_TRUE(ThreadMask().subsetOf(ThreadMask()));
+}
+
+TEST(ThreadMask, CompoundAssignment)
+{
+    ThreadMask m(0xf0u);
+    m |= ThreadMask(0x0fu);
+    EXPECT_EQ(m.raw(), 0xffu);
+    m &= ThreadMask(0x3cu);
+    EXPECT_EQ(m.raw(), 0x3cu);
+    m -= ThreadMask(0x0cu);
+    EXPECT_EQ(m.raw(), 0x30u);
+}
+
+TEST(ThreadMask, LaneIterationVisitsExactlySetLanes)
+{
+    ThreadMask m;
+    m.set(0);
+    m.set(5);
+    m.set(31);
+    std::vector<unsigned> seen;
+    for (unsigned lane : si::lanesOf(m))
+        seen.push_back(lane);
+    EXPECT_EQ(seen, (std::vector<unsigned>{0, 5, 31}));
+}
+
+TEST(ThreadMask, LaneIterationEmpty)
+{
+    unsigned visits = 0;
+    for (unsigned lane : si::lanesOf(ThreadMask())) {
+        (void)lane;
+        ++visits;
+    }
+    EXPECT_EQ(visits, 0u);
+}
+
+/** Property: iteration count always equals popcount. */
+class MaskPropertyTest : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(MaskPropertyTest, IterationMatchesCount)
+{
+    const ThreadMask m(GetParam());
+    unsigned visits = 0;
+    unsigned prev = 0;
+    bool first = true;
+    for (unsigned lane : si::lanesOf(m)) {
+        EXPECT_TRUE(m.test(lane));
+        if (!first) {
+            EXPECT_GT(lane, prev); // ascending order
+        }
+        prev = lane;
+        first = false;
+        ++visits;
+    }
+    EXPECT_EQ(visits, m.count());
+}
+
+TEST_P(MaskPropertyTest, DifferenceDisjointUnionRestores)
+{
+    const ThreadMask m(GetParam());
+    const ThreadMask evens(0x55555555u);
+    const ThreadMask inter = m & evens;
+    const ThreadMask rest = m - evens;
+    EXPECT_TRUE((inter & rest).empty());
+    EXPECT_EQ((inter | rest), m);
+}
+
+INSTANTIATE_TEST_SUITE_P(Masks, MaskPropertyTest,
+                         ::testing::Values(0u, 1u, 0x80000000u, 0xffffffffu,
+                                           0xdeadbeefu, 0x0f0f0f0fu,
+                                           0x12345678u, 0x55555555u));

@@ -1,0 +1,141 @@
+/** @file Warp state container: registers, predicates, subwarp grouping. */
+
+#include <gtest/gtest.h>
+
+#include "core/warp.hh"
+#include "isa/builder.hh"
+
+using namespace si;
+
+namespace {
+
+Program
+trivialProgram(unsigned regs = 32)
+{
+    KernelBuilder kb("trivial");
+    kb.exit();
+    return kb.build(regs);
+}
+
+} // namespace
+
+TEST(Warp, LaunchStateAllActiveAtPcZero)
+{
+    const Program p = trivialProgram();
+    Warp w(3, 1, &p, warpSize);
+    EXPECT_EQ(w.id(), 3u);
+    EXPECT_EQ(w.pb(), 1u);
+    EXPECT_EQ(w.live().count(), 32u);
+    EXPECT_EQ(w.activeMask().count(), 32u);
+    EXPECT_EQ(w.activePc(), 0u);
+    EXPECT_FALSE(w.done());
+}
+
+TEST(Warp, PartialWarpLaunch)
+{
+    const Program p = trivialProgram();
+    Warp w(0, 0, &p, 20);
+    EXPECT_EQ(w.live().count(), 20u);
+    EXPECT_EQ(w.state(19), ThreadState::Active);
+    EXPECT_EQ(w.state(20), ThreadState::Inactive);
+}
+
+TEST(Warp, RegisterFileReadWriteAndRZ)
+{
+    const Program p = trivialProgram(64);
+    Warp w(0, 0, &p, warpSize);
+    w.setReg(5, 10, 0xabcd);
+    EXPECT_EQ(w.reg(5, 10), 0xabcdu);
+    EXPECT_EQ(w.reg(6, 10), 0u); // other lane untouched
+    EXPECT_EQ(w.reg(5, regNone), 0u); // RZ reads zero
+    w.setReg(5, regNone, 99); // RZ writes ignored
+    EXPECT_EQ(w.reg(5, regNone), 0u);
+}
+
+TEST(Warp, PredicatesPerLaneAndPT)
+{
+    const Program p = trivialProgram();
+    Warp w(0, 0, &p, warpSize);
+    EXPECT_TRUE(w.predicate(0, predNone)); // PT always true
+    EXPECT_FALSE(w.predicate(0, 3));
+    w.setPredicate(0, 3, true);
+    EXPECT_TRUE(w.predicate(0, 3));
+    EXPECT_FALSE(w.predicate(1, 3));
+    w.setPredicate(0, 3, false);
+    EXPECT_FALSE(w.predicate(0, 3));
+}
+
+TEST(Warp, KillLanesLeadsToDone)
+{
+    const Program p = trivialProgram();
+    Warp w(0, 0, &p, warpSize);
+    w.killLanes(ThreadMask::firstN(31));
+    EXPECT_FALSE(w.done());
+    w.killLanes(ThreadMask::full());
+    EXPECT_TRUE(w.done());
+}
+
+TEST(Warp, ReadySubwarpsGroupedByPcAscending)
+{
+    const Program p = trivialProgram();
+    Warp w(0, 0, &p, warpSize);
+    // lanes 0..7 ready at pc 20; lanes 8..15 ready at pc 4; rest active.
+    for (unsigned l = 0; l < 8; ++l) {
+        w.setState(l, ThreadState::Ready);
+        w.setPc(l, 20);
+    }
+    for (unsigned l = 8; l < 16; ++l) {
+        w.setState(l, ThreadState::Ready);
+        w.setPc(l, 4);
+    }
+    const auto groups = w.readySubwarps();
+    ASSERT_EQ(groups.size(), 2u);
+    EXPECT_EQ(groups[0].first, 4u);
+    EXPECT_EQ(groups[0].second.count(), 8u);
+    EXPECT_EQ(groups[1].first, 20u);
+    EXPECT_TRUE(groups[1].second.test(0));
+}
+
+TEST(Warp, LanesInStateIgnoresDeadLanes)
+{
+    const Program p = trivialProgram();
+    Warp w(0, 0, &p, warpSize);
+    w.setState(0, ThreadState::Ready);
+    w.killLanes(ThreadMask::lane(0));
+    EXPECT_FALSE(w.lanesInState(ThreadState::Ready).test(0));
+}
+
+TEST(Warp, ActivePcFollowsLowestActiveLane)
+{
+    const Program p = trivialProgram();
+    Warp w(0, 0, &p, warpSize);
+    for (unsigned l = 0; l < 16; ++l)
+        w.setState(l, ThreadState::Blocked);
+    for (unsigned l = 16; l < 32; ++l)
+        w.setPc(l, 7);
+    EXPECT_EQ(w.activePc(), 7u);
+}
+
+TEST(Warp, TstOccupancy)
+{
+    const Program p = trivialProgram();
+    Warp w(0, 0, &p, warpSize);
+    EXPECT_EQ(w.tstOccupancy(), 0u);
+    w.tst().resize(4);
+    w.tst()[1].valid = true;
+    w.tst()[3].valid = true;
+    EXPECT_EQ(w.tstOccupancy(), 2u);
+}
+
+TEST(Warp, RegReadyTimestamps)
+{
+    const Program p = trivialProgram(64);
+    Warp w(0, 0, &p, warpSize);
+    EXPECT_EQ(w.regReadyAt(5), 0u);
+    w.setRegReadyAt(5, 123);
+    EXPECT_EQ(w.regReadyAt(5), 123u);
+    EXPECT_EQ(w.regReadyAt(regNone), 0u); // RZ always ready
+    w.setPredReadyAt(2, 55);
+    EXPECT_EQ(w.predReadyAt(2), 55u);
+    EXPECT_EQ(w.predReadyAt(predNone), 0u);
+}

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * swsim — run a SASS-like assembly kernel on the simulator from the
+ * command line.
+ *
+ *   swsim KERNEL.sasm [options]
+ *
+ * Options:
+ *   --warps N          warps to launch (default 4)
+ *   --lat N            L1 miss latency in cycles (default 600)
+ *   --si               enable Subwarp Interleaving (SOS)
+ *   --yield            also enable subwarp-yield (implies --si)
+ *   --trigger any|half|all   selection trigger (default half)
+ *   --tst N            thread status table entries (default 32)
+ *   --sms N            number of SMs (default 2)
+ *   --slots N          warp slots per processing block (default 8)
+ *   --mshrs N          outstanding-miss budget (default unlimited)
+ *   --hints            run the static stall-hint pass + hint policy
+ *   --sched gto|lrr    warp scheduler (default gto)
+ *   --stats            dump full statistics
+ *   --trace            print the per-issue timeline
+ *   --disasm           print the kernel listing before running
+ *   --compare          also run the baseline and report the speedup
+ *
+ * Exit status: 0 on success, 1 on bad usage/assembly/timeout.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/log.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "isa/assembler.hh"
+#include "isa/stall_hints.hh"
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: swsim KERNEL.sasm [--warps N] [--lat N] [--si] "
+                 "[--yield]\n"
+                 "             [--trigger any|half|all] [--tst N] "
+                 "[--sms N] [--slots N]\n"
+                 "             [--mshrs N] [--hints] [--sched gto|lrr] "
+                 "[--stats]\n"
+                 "             [--trace] [--disasm] [--compare]\n");
+}
+
+bool
+parseUnsigned(const char *s, unsigned &out)
+{
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(s, &end, 0);
+    if (end == s || *end != '\0')
+        return false;
+    out = unsigned(v);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    si::verboseLogging = false;
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+
+    const std::string path = argv[1];
+    si::GpuConfig cfg;
+    unsigned warps = 4;
+    unsigned mshrs = 0;
+    bool si_on = false, yield = false, hints = false;
+    bool dump_stats = false, trace = false, disasm = false;
+    bool compare = false;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next_uint = [&](unsigned &out) {
+            if (i + 1 >= argc || !parseUnsigned(argv[++i], out)) {
+                std::fprintf(stderr, "swsim: %s needs a number\n",
+                             a.c_str());
+                std::exit(1);
+            }
+        };
+        if (a == "--warps") {
+            next_uint(warps);
+        } else if (a == "--lat") {
+            unsigned v;
+            next_uint(v);
+            cfg.lat.l1Miss = v;
+        } else if (a == "--si") {
+            si_on = true;
+        } else if (a == "--yield") {
+            si_on = yield = true;
+        } else if (a == "--trigger") {
+            if (i + 1 >= argc) {
+                usage();
+                return 1;
+            }
+            const std::string t = argv[++i];
+            if (t == "any")
+                cfg.trigger = si::SelectTrigger::AnyStalled;
+            else if (t == "half")
+                cfg.trigger = si::SelectTrigger::HalfStalled;
+            else if (t == "all")
+                cfg.trigger = si::SelectTrigger::AllStalled;
+            else {
+                std::fprintf(stderr, "swsim: bad trigger '%s'\n",
+                             t.c_str());
+                return 1;
+            }
+        } else if (a == "--tst") {
+            next_uint(cfg.maxSubwarps);
+        } else if (a == "--sms") {
+            next_uint(cfg.numSms);
+        } else if (a == "--slots") {
+            next_uint(cfg.warpSlotsPerPb);
+        } else if (a == "--mshrs") {
+            next_uint(mshrs);
+        } else if (a == "--hints") {
+            hints = true;
+        } else if (a == "--sched") {
+            if (i + 1 >= argc) {
+                usage();
+                return 1;
+            }
+            const std::string s = argv[++i];
+            if (s == "gto")
+                cfg.sched = si::SchedPolicy::GTO;
+            else if (s == "lrr")
+                cfg.sched = si::SchedPolicy::LRR;
+            else {
+                std::fprintf(stderr, "swsim: bad scheduler '%s'\n",
+                             s.c_str());
+                return 1;
+            }
+        } else if (a == "--stats") {
+            dump_stats = true;
+        } else if (a == "--trace") {
+            trace = true;
+        } else if (a == "--disasm") {
+            disasm = true;
+        } else if (a == "--compare") {
+            compare = true;
+        } else {
+            std::fprintf(stderr, "swsim: unknown option '%s'\n",
+                         a.c_str());
+            usage();
+            return 1;
+        }
+    }
+
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "swsim: cannot open '%s'\n", path.c_str());
+        return 1;
+    }
+    std::stringstream source;
+    source << in.rdbuf();
+
+    si::AsmResult assembled = si::assemble(source.str());
+    if (!assembled.ok) {
+        std::fprintf(stderr, "swsim: %s: %s\n", path.c_str(),
+                     assembled.error.c_str());
+        return 1;
+    }
+    si::Program prog = std::move(assembled.program);
+
+    if (hints) {
+        const si::StallHintReport rep = si::annotateStallHints(prog);
+        cfg.divergeOrder = si::DivergeOrder::HintStallFirst;
+        std::printf("stall hints: %u/%u branches hinted\n",
+                    rep.branchesHinted, rep.branchesAnalyzed);
+    }
+    if (disasm)
+        std::printf("%s\n", prog.disasm().c_str());
+
+    cfg.siEnabled = si_on;
+    cfg.yieldEnabled = yield;
+    cfg.maxOutstandingMisses = mshrs;
+    if (trace) {
+        cfg.issueHook = [&prog](const si::IssueEvent &ev) {
+            std::printf("  %8llu sm%u w%-3u %2u lanes  pc %3u  %s\n",
+                        static_cast<unsigned long long>(ev.cycle),
+                        ev.smId, ev.warpId, ev.activeMask.count(),
+                        ev.pc, prog.at(ev.pc).disasm().c_str());
+        };
+    }
+
+    si::Memory mem;
+    const si::GpuResult r =
+        si::simulate(cfg, mem, prog, {warps, 4});
+    if (r.timedOut) {
+        std::fprintf(stderr, "swsim: kernel timed out\n");
+        return 1;
+    }
+
+    std::printf("%s: %llu cycles, %llu instructions, IPC %.3f, "
+                "%.1f%% exposed on memory\n",
+                prog.name().c_str(),
+                static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(r.total.instrsIssued),
+                r.smCycleSum()
+                    ? double(r.total.instrsIssued) / double(r.smCycleSum())
+                    : 0.0,
+                100.0 * r.exposedStallFraction());
+
+    if (compare) {
+        si::GpuConfig base = cfg;
+        base.siEnabled = false;
+        base.yieldEnabled = false;
+        base.dwsEnabled = false;
+        base.issueHook = nullptr;
+        si::Memory mem2;
+        const si::GpuResult rb = si::simulate(base, mem2, prog,
+                                              {warps, 4});
+        std::printf("baseline: %llu cycles -> speedup %.1f%%\n",
+                    static_cast<unsigned long long>(rb.cycles),
+                    si::speedupPct(rb, r));
+    }
+
+    if (dump_stats)
+        std::printf("%s", si::statsReport(r).c_str());
+    return 0;
+}
