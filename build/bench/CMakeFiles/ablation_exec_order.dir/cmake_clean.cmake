@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_exec_order.dir/ablation_exec_order.cc.o"
+  "CMakeFiles/ablation_exec_order.dir/ablation_exec_order.cc.o.d"
+  "ablation_exec_order"
+  "ablation_exec_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_exec_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mshr.dir/ablation_mshr.cc.o"
+  "CMakeFiles/ablation_mshr.dir/ablation_mshr.cc.o.d"
+  "ablation_mshr"
+  "ablation_mshr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mshr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

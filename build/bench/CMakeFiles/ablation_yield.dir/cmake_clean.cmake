@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_yield.dir/ablation_yield.cc.o"
+  "CMakeFiles/ablation_yield.dir/ablation_yield.cc.o.d"
+  "ablation_yield"
+  "ablation_yield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_compute.dir/async_compute.cc.o"
+  "CMakeFiles/async_compute.dir/async_compute.cc.o.d"
+  "async_compute"
+  "async_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

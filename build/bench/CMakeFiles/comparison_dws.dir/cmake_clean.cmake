@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comparison_dws.dir/comparison_dws.cc.o"
+  "CMakeFiles/comparison_dws.dir/comparison_dws.cc.o.d"
+  "comparison_dws"
+  "comparison_dws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comparison_dws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

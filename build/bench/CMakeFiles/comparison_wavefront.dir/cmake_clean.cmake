@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comparison_wavefront.dir/comparison_wavefront.cc.o"
+  "CMakeFiles/comparison_wavefront.dir/comparison_wavefront.cc.o.d"
+  "comparison_wavefront"
+  "comparison_wavefront.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comparison_wavefront.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_characterization.dir/fig03_characterization.cc.o"
+  "CMakeFiles/fig03_characterization.dir/fig03_characterization.cc.o.d"
+  "fig03_characterization"
+  "fig03_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12a_speedup.dir/fig12a_speedup.cc.o"
+  "CMakeFiles/fig12a_speedup.dir/fig12a_speedup.cc.o.d"
+  "fig12a_speedup"
+  "fig12a_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12a_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_warp_slots.dir/fig14_warp_slots.cc.o"
+  "CMakeFiles/fig14_warp_slots.dir/fig14_warp_slots.cc.o.d"
+  "fig14_warp_slots"
+  "fig14_warp_slots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_warp_slots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

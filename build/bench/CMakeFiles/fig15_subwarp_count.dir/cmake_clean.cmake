@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_subwarp_count.dir/fig15_subwarp_count.cc.o"
+  "CMakeFiles/fig15_subwarp_count.dir/fig15_subwarp_count.cc.o.d"
+  "fig15_subwarp_count"
+  "fig15_subwarp_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_subwarp_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5c4_icache_sizing.dir/sec5c4_icache_sizing.cc.o"
+  "CMakeFiles/sec5c4_icache_sizing.dir/sec5c4_icache_sizing.cc.o.d"
+  "sec5c4_icache_sizing"
+  "sec5c4_icache_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5c4_icache_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

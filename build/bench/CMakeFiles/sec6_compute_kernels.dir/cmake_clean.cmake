@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6_compute_kernels.dir/sec6_compute_kernels.cc.o"
+  "CMakeFiles/sec6_compute_kernels.dir/sec6_compute_kernels.cc.o.d"
+  "sec6_compute_kernels"
+  "sec6_compute_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6_compute_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_microbenchmark.dir/table3_microbenchmark.cc.o"
+  "CMakeFiles/table3_microbenchmark.dir/table3_microbenchmark.cc.o.d"
+  "table3_microbenchmark"
+  "table3_microbenchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_microbenchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/divergence_lab.cpp" "examples/CMakeFiles/divergence_lab.dir/divergence_lab.cpp.o" "gcc" "examples/CMakeFiles/divergence_lab.dir/divergence_lab.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/si_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/si_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/si_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/si_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/si_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/si_rtcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/si_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raytrace_render.dir/raytrace_render.cpp.o"
+  "CMakeFiles/raytrace_render.dir/raytrace_render.cpp.o.d"
+  "raytrace_render"
+  "raytrace_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raytrace_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_common.dir/common/log.cc.o"
+  "CMakeFiles/si_common.dir/common/log.cc.o.d"
+  "CMakeFiles/si_common.dir/common/stats.cc.o"
+  "CMakeFiles/si_common.dir/common/stats.cc.o.d"
+  "libsi_common.a"
+  "libsi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

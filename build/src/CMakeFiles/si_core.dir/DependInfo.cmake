@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/gpu.cc" "src/CMakeFiles/si_core.dir/core/gpu.cc.o" "gcc" "src/CMakeFiles/si_core.dir/core/gpu.cc.o.d"
+  "/root/repo/src/core/sm.cc" "src/CMakeFiles/si_core.dir/core/sm.cc.o" "gcc" "src/CMakeFiles/si_core.dir/core/sm.cc.o.d"
+  "/root/repo/src/core/subwarp_scheduler.cc" "src/CMakeFiles/si_core.dir/core/subwarp_scheduler.cc.o" "gcc" "src/CMakeFiles/si_core.dir/core/subwarp_scheduler.cc.o.d"
+  "/root/repo/src/core/warp.cc" "src/CMakeFiles/si_core.dir/core/warp.cc.o" "gcc" "src/CMakeFiles/si_core.dir/core/warp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/si_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/si_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/si_rtcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/si_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_core.dir/core/gpu.cc.o"
+  "CMakeFiles/si_core.dir/core/gpu.cc.o.d"
+  "CMakeFiles/si_core.dir/core/sm.cc.o"
+  "CMakeFiles/si_core.dir/core/sm.cc.o.d"
+  "CMakeFiles/si_core.dir/core/subwarp_scheduler.cc.o"
+  "CMakeFiles/si_core.dir/core/subwarp_scheduler.cc.o.d"
+  "CMakeFiles/si_core.dir/core/warp.cc.o"
+  "CMakeFiles/si_core.dir/core/warp.cc.o.d"
+  "libsi_core.a"
+  "libsi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_harness.dir/harness/report.cc.o"
+  "CMakeFiles/si_harness.dir/harness/report.cc.o.d"
+  "CMakeFiles/si_harness.dir/harness/runner.cc.o"
+  "CMakeFiles/si_harness.dir/harness/runner.cc.o.d"
+  "CMakeFiles/si_harness.dir/harness/table.cc.o"
+  "CMakeFiles/si_harness.dir/harness/table.cc.o.d"
+  "libsi_harness.a"
+  "libsi_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/assembler.cc" "src/CMakeFiles/si_isa.dir/isa/assembler.cc.o" "gcc" "src/CMakeFiles/si_isa.dir/isa/assembler.cc.o.d"
+  "/root/repo/src/isa/builder.cc" "src/CMakeFiles/si_isa.dir/isa/builder.cc.o" "gcc" "src/CMakeFiles/si_isa.dir/isa/builder.cc.o.d"
+  "/root/repo/src/isa/instr.cc" "src/CMakeFiles/si_isa.dir/isa/instr.cc.o" "gcc" "src/CMakeFiles/si_isa.dir/isa/instr.cc.o.d"
+  "/root/repo/src/isa/program.cc" "src/CMakeFiles/si_isa.dir/isa/program.cc.o" "gcc" "src/CMakeFiles/si_isa.dir/isa/program.cc.o.d"
+  "/root/repo/src/isa/stall_hints.cc" "src/CMakeFiles/si_isa.dir/isa/stall_hints.cc.o" "gcc" "src/CMakeFiles/si_isa.dir/isa/stall_hints.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/si_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

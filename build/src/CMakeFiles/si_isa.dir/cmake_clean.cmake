@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_isa.dir/isa/assembler.cc.o"
+  "CMakeFiles/si_isa.dir/isa/assembler.cc.o.d"
+  "CMakeFiles/si_isa.dir/isa/builder.cc.o"
+  "CMakeFiles/si_isa.dir/isa/builder.cc.o.d"
+  "CMakeFiles/si_isa.dir/isa/instr.cc.o"
+  "CMakeFiles/si_isa.dir/isa/instr.cc.o.d"
+  "CMakeFiles/si_isa.dir/isa/program.cc.o"
+  "CMakeFiles/si_isa.dir/isa/program.cc.o.d"
+  "CMakeFiles/si_isa.dir/isa/stall_hints.cc.o"
+  "CMakeFiles/si_isa.dir/isa/stall_hints.cc.o.d"
+  "libsi_isa.a"
+  "libsi_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

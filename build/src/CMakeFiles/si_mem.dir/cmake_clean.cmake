@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_mem.dir/mem/cache.cc.o"
+  "CMakeFiles/si_mem.dir/mem/cache.cc.o.d"
+  "CMakeFiles/si_mem.dir/mem/memory.cc.o"
+  "CMakeFiles/si_mem.dir/mem/memory.cc.o.d"
+  "libsi_mem.a"
+  "libsi_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/apps.cc" "src/CMakeFiles/si_rt.dir/rt/apps.cc.o" "gcc" "src/CMakeFiles/si_rt.dir/rt/apps.cc.o.d"
+  "/root/repo/src/rt/compute.cc" "src/CMakeFiles/si_rt.dir/rt/compute.cc.o" "gcc" "src/CMakeFiles/si_rt.dir/rt/compute.cc.o.d"
+  "/root/repo/src/rt/megakernel.cc" "src/CMakeFiles/si_rt.dir/rt/megakernel.cc.o" "gcc" "src/CMakeFiles/si_rt.dir/rt/megakernel.cc.o.d"
+  "/root/repo/src/rt/microbench.cc" "src/CMakeFiles/si_rt.dir/rt/microbench.cc.o" "gcc" "src/CMakeFiles/si_rt.dir/rt/microbench.cc.o.d"
+  "/root/repo/src/rt/scene.cc" "src/CMakeFiles/si_rt.dir/rt/scene.cc.o" "gcc" "src/CMakeFiles/si_rt.dir/rt/scene.cc.o.d"
+  "/root/repo/src/rt/shader_body.cc" "src/CMakeFiles/si_rt.dir/rt/shader_body.cc.o" "gcc" "src/CMakeFiles/si_rt.dir/rt/shader_body.cc.o.d"
+  "/root/repo/src/rt/wavefront.cc" "src/CMakeFiles/si_rt.dir/rt/wavefront.cc.o" "gcc" "src/CMakeFiles/si_rt.dir/rt/wavefront.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/si_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/si_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/si_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/si_rtcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/si_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

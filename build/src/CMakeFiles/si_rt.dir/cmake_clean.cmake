@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_rt.dir/rt/apps.cc.o"
+  "CMakeFiles/si_rt.dir/rt/apps.cc.o.d"
+  "CMakeFiles/si_rt.dir/rt/compute.cc.o"
+  "CMakeFiles/si_rt.dir/rt/compute.cc.o.d"
+  "CMakeFiles/si_rt.dir/rt/megakernel.cc.o"
+  "CMakeFiles/si_rt.dir/rt/megakernel.cc.o.d"
+  "CMakeFiles/si_rt.dir/rt/microbench.cc.o"
+  "CMakeFiles/si_rt.dir/rt/microbench.cc.o.d"
+  "CMakeFiles/si_rt.dir/rt/scene.cc.o"
+  "CMakeFiles/si_rt.dir/rt/scene.cc.o.d"
+  "CMakeFiles/si_rt.dir/rt/shader_body.cc.o"
+  "CMakeFiles/si_rt.dir/rt/shader_body.cc.o.d"
+  "CMakeFiles/si_rt.dir/rt/wavefront.cc.o"
+  "CMakeFiles/si_rt.dir/rt/wavefront.cc.o.d"
+  "libsi_rt.a"
+  "libsi_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

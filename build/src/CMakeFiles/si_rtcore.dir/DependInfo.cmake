@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtcore/bvh.cc" "src/CMakeFiles/si_rtcore.dir/rtcore/bvh.cc.o" "gcc" "src/CMakeFiles/si_rtcore.dir/rtcore/bvh.cc.o.d"
+  "/root/repo/src/rtcore/rtcore.cc" "src/CMakeFiles/si_rtcore.dir/rtcore/rtcore.cc.o" "gcc" "src/CMakeFiles/si_rtcore.dir/rtcore/rtcore.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/si_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_rtcore.dir/rtcore/bvh.cc.o"
+  "CMakeFiles/si_rtcore.dir/rtcore/bvh.cc.o.d"
+  "CMakeFiles/si_rtcore.dir/rtcore/rtcore.cc.o"
+  "CMakeFiles/si_rtcore.dir/rtcore/rtcore.cc.o.d"
+  "libsi_rtcore.a"
+  "libsi_rtcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_rtcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alu_table.dir/test_alu_table.cc.o"
+  "CMakeFiles/test_alu_table.dir/test_alu_table.cc.o.d"
+  "test_alu_table"
+  "test_alu_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alu_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_disasm_coverage.dir/test_disasm_coverage.cc.o"
+  "CMakeFiles/test_disasm_coverage.dir/test_disasm_coverage.cc.o.d"
+  "test_disasm_coverage"
+  "test_disasm_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_disasm_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_divergence_patterns.dir/test_divergence_patterns.cc.o"
+  "CMakeFiles/test_divergence_patterns.dir/test_divergence_patterns.cc.o.d"
+  "test_divergence_patterns"
+  "test_divergence_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_divergence_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

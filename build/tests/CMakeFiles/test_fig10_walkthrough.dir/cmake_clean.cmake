@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fig10_walkthrough.dir/test_fig10_walkthrough.cc.o"
+  "CMakeFiles/test_fig10_walkthrough.dir/test_fig10_walkthrough.cc.o.d"
+  "test_fig10_walkthrough"
+  "test_fig10_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fig10_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

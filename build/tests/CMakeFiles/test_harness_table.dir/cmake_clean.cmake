@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_harness_table.dir/test_harness_table.cc.o"
+  "CMakeFiles/test_harness_table.dir/test_harness_table.cc.o.d"
+  "test_harness_table"
+  "test_harness_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_harness_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_megakernel_structure.dir/test_megakernel_structure.cc.o"
+  "CMakeFiles/test_megakernel_structure.dir/test_megakernel_structure.cc.o.d"
+  "test_megakernel_structure"
+  "test_megakernel_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_megakernel_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

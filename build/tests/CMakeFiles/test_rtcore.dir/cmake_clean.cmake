@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtcore.dir/test_rtcore.cc.o"
+  "CMakeFiles/test_rtcore.dir/test_rtcore.cc.o.d"
+  "test_rtcore"
+  "test_rtcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sm_integration.dir/test_sm_integration.cc.o"
+  "CMakeFiles/test_sm_integration.dir/test_sm_integration.cc.o.d"
+  "test_sm_integration"
+  "test_sm_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sm_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stall_hints.dir/test_stall_hints.cc.o"
+  "CMakeFiles/test_stall_hints.dir/test_stall_hints.cc.o.d"
+  "test_stall_hints"
+  "test_stall_hints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stall_hints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

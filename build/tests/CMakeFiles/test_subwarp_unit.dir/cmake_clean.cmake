@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subwarp_unit.dir/test_subwarp_unit.cc.o"
+  "CMakeFiles/test_subwarp_unit.dir/test_subwarp_unit.cc.o.d"
+  "test_subwarp_unit"
+  "test_subwarp_unit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subwarp_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

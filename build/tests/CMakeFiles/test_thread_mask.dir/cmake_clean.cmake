@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thread_mask.dir/test_thread_mask.cc.o"
+  "CMakeFiles/test_thread_mask.dir/test_thread_mask.cc.o.d"
+  "test_thread_mask"
+  "test_thread_mask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thread_mask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(swsim_cli "/root/repo/build/tools/swsim" "/root/repo/kernels/fig9.sasm" "--si" "--compare")
+set_tests_properties(swsim_cli PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;3;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(swsim_cli_hints "/root/repo/build/tools/swsim" "/root/repo/kernels/skewed.sasm" "--si" "--hints" "--compare" "--mshrs" "16")
+set_tests_properties(swsim_cli_hints PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;4;add_test;/root/repo/tools/CMakeLists.txt;0;")
