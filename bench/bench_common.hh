@@ -25,6 +25,11 @@ struct AppSweep
     GpuResult base;
     std::vector<GpuResult> si; ///< indexed like siConfigPoints()
 
+    /** First failure status across the points ("" when all ran). */
+    std::string failure;
+
+    bool ok() const { return failure.empty(); }
+
     double
     speedupOf(std::size_t config_idx) const
     {
@@ -48,20 +53,37 @@ sweepWorkload(const Workload &wl, const GpuConfig &base_config)
     AppSweep s;
     s.name = wl.name;
     s.base = runWorkload(wl, base_config);
-    for (const auto &pt : siConfigPoints())
+    if (!s.base.ok())
+        s.failure = "base: " + s.base.status.summary();
+    for (const auto &pt : siConfigPoints()) {
         s.si.push_back(runWorkload(wl, withSi(base_config, pt)));
+        if (!s.si.back().ok() && s.failure.empty()) {
+            s.failure = std::string(pt.label) + ": " +
+                        s.si.back().status.summary();
+        }
+    }
     return s;
 }
 
-/** Run the full ten-trace suite at one baseline config. */
+/**
+ * Run the full ten-trace suite at one baseline config. An app whose run
+ * fails is skipped (with a note) rather than aborting the sweep, so the
+ * table still comes out for the healthy apps.
+ */
 inline std::vector<AppSweep>
 sweepAllApps(const GpuConfig &base_config)
 {
     std::vector<AppSweep> out;
     for (AppId id : allApps()) {
         Workload wl = buildApp(id);
-        out.push_back(sweepWorkload(wl, base_config));
-        std::fprintf(stderr, "  [swept %s]\n", out.back().name.c_str());
+        AppSweep s = sweepWorkload(wl, base_config);
+        if (!s.ok()) {
+            std::fprintf(stderr, "  [SKIPPED %s: %s]\n", s.name.c_str(),
+                         s.failure.c_str());
+            continue;
+        }
+        std::fprintf(stderr, "  [swept %s]\n", s.name.c_str());
+        out.push_back(std::move(s));
     }
     return out;
 }

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# CI entry point: build and test twice — a plain Release build, then an
+# AddressSanitizer + UBSan build (SI_SANITIZE, see the top CMakeLists).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run() {
+    local dir=$1
+    shift
+    echo "=== configure $dir ($*)"
+    cmake -B "$dir" -S . "$@"
+    echo "=== build $dir"
+    cmake --build "$dir" -j "$(nproc)"
+    echo "=== test $dir"
+    ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
+}
+
+run build-release -DCMAKE_BUILD_TYPE=Release
+run build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSI_SANITIZE=address,undefined
+
+echo "=== ci.sh: all green"

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Structured simulator errors. Historically every misstep called panic()
+ * or fatal() and killed the process, which loses every completed data
+ * point of a multi-configuration sweep. The fault-tolerance layer throws
+ * SimError instead; Gpu::runMulti catches it, so a failed kernel run
+ * unwinds into a GpuResult whose RunStatus records what went wrong while
+ * the process (and the rest of the sweep) keeps going.
+ */
+
+#ifndef SI_COMMON_SIM_ERROR_HH
+#define SI_COMMON_SIM_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace si {
+
+/** Classification of a failed kernel run (RunStatus::kind). */
+enum class ErrorKind : std::uint8_t {
+    None,               ///< run completed normally
+    Config,             ///< bad user/launch/architecture configuration
+    Parse,              ///< malformed kernel text or invalid program
+    Internal,           ///< simulator bug (ex-panic() invariants)
+    BarrierDeadlock,    ///< convergence barrier can never be released
+    Livelock,           ///< no instruction retired and nothing in flight
+    InvariantViolation, ///< opt-in state audit found corruption
+    CycleLimit,         ///< runaway: GpuConfig::maxCycles exceeded
+    WallClock,          ///< harness wall-clock budget exceeded
+};
+
+/** Short stable name for an ErrorKind ("barrier-deadlock", ...). */
+const char *errorKindName(ErrorKind kind);
+
+/**
+ * Outcome of one kernel run. Default-constructed means success; a failed
+ * run carries the classification, a one-line message, and (for watchdog /
+ * invariant failures) a multi-line machine-state diagnostic dump.
+ */
+struct RunStatus
+{
+    ErrorKind kind = ErrorKind::None;
+    std::string message;
+    std::string diagnostic;
+
+    bool ok() const { return kind == ErrorKind::None; }
+
+    /** "kind: message" one-liner for tables and logs. */
+    std::string summary() const;
+
+    static RunStatus
+    failure(ErrorKind kind, std::string message,
+            std::string diagnostic = "")
+    {
+        return RunStatus{kind, std::move(message), std::move(diagnostic)};
+    }
+};
+
+/**
+ * Exception carrying a structured simulator error. Thrown from hot paths
+ * that used to panic()/fatal(); caught at the run boundary
+ * (Gpu::runMulti, simulate(), runWorkloadSafe()) and converted into a
+ * RunStatus.
+ */
+class SimError : public std::runtime_error
+{
+  public:
+    SimError(ErrorKind kind, const std::string &message,
+             std::string diagnostic = "")
+        : std::runtime_error(message),
+          kind_(kind),
+          diagnostic_(std::move(diagnostic))
+    {
+    }
+
+    ErrorKind kind() const { return kind_; }
+    const std::string &diagnostic() const { return diagnostic_; }
+
+    RunStatus
+    status() const
+    {
+        return RunStatus{kind_, what(), diagnostic_};
+    }
+
+  private:
+    ErrorKind kind_;
+    std::string diagnostic_;
+};
+
+namespace detail {
+
+/** printf-style SimError construction helper (sim_throw macro body). */
+[[noreturn]] [[gnu::format(printf, 4, 5)]]
+void throwSimError(ErrorKind kind, const char *file, int line,
+                   const char *fmt, ...);
+
+} // namespace detail
+} // namespace si
+
+/** Throw a structured SimError with a printf-formatted message. */
+#define sim_throw(kind, ...) \
+    ::si::detail::throwSimError(kind, __FILE__, __LINE__, __VA_ARGS__)
+
+/** sim_throw() when the failure condition @p cond holds. */
+#define sim_throw_if(cond, kind, ...) \
+    do { \
+        if (cond) \
+            sim_throw(kind, __VA_ARGS__); \
+    } while (0)
+
+#endif // SI_COMMON_SIM_ERROR_HH

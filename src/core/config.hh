@@ -33,6 +33,22 @@ struct IssueEvent
  */
 using IssueHook = std::function<void(const IssueEvent &)>;
 
+class Gpu;
+
+/**
+ * Optional per-cycle hook called before the SMs tick. The fault-injection
+ * harness (src/fault) uses it to corrupt machine state at a chosen cycle;
+ * the watchdog and invariant checker must then catch the damage.
+ */
+using FaultHook = std::function<void(Gpu &, Cycle)>;
+
+/**
+ * Optional cancellation poll, checked every cancelCheckInterval cycles.
+ * Returning true aborts the run with ErrorKind::WallClock — the
+ * mechanism behind runWorkloadSafe()'s wall-clock timeout.
+ */
+using CancelHook = std::function<bool()>;
+
 /**
  * When subwarp-select may demote a stalled ACTIVE subwarp, expressed as
  * the paper's knob over N = fraction of stalled warps among live warps
@@ -143,8 +159,42 @@ struct GpuConfig
     DivergeOrder divergeOrder = DivergeOrder::NotTakenFirst;
     std::uint64_t rngSeed = 1;
 
-    /** Watchdog: abort the run if the kernel exceeds this many cycles. */
+    // ---- fault tolerance (forward progress, audits, injection) ----
+
+    /**
+     * Runaway cap: fail the run with ErrorKind::CycleLimit when the
+     * kernel exceeds this many cycles (it keeps issuing but never
+     * finishes — e.g. an infinite loop).
+     */
     std::uint64_t maxCycles = 200'000'000;
+
+    /**
+     * Forward-progress watchdog: when no instruction retires anywhere on
+     * the GPU for this many consecutive cycles *and* no writeback is in
+     * flight, nothing can ever wake the machine — fail the run with
+     * ErrorKind::Livelock and a full state dump. Legitimate long stalls
+     * (misses queued behind MSHRs, RT queries) always have a pending
+     * writeback, so they do not trip this. Must exceed every fixed
+     * latency (switch, fetch, transcendental); 0 disables.
+     */
+    std::uint64_t livelockCycles = 50'000;
+
+    /**
+     * Opt-in invariant checker: every invariantCheckInterval cycles,
+     * audit scoreboard release balance against in-flight writebacks,
+     * thread-status-table entry leaks, and per-lane state/mask
+     * discipline. A violation fails the run with
+     * ErrorKind::InvariantViolation instead of drifting silently.
+     */
+    bool checkInvariants = false;
+    std::uint64_t invariantCheckInterval = 1024;
+
+    /** Fault-injection hook, called once per cycle (null = disabled). */
+    FaultHook faultHook;
+
+    /** Cancellation poll for wall-clock budgets (null = disabled). */
+    CancelHook cancelHook;
+    std::uint64_t cancelCheckInterval = 8192;
 
     /** Optional per-issue trace observer (null = disabled). */
     IssueHook issueHook;

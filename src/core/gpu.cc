@@ -3,13 +3,15 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "common/sim_error.hh"
 
 namespace si {
 
 Gpu::Gpu(const GpuConfig &config, Memory &memory, const Bvh *scene)
     : config_(config), memory_(memory), scene_(scene)
 {
-    fatal_if(config_.numSms == 0, "GPU needs at least one SM");
+    sim_throw_if(config_.numSms == 0, ErrorKind::Config,
+                 "GPU needs at least one SM");
     sms_.reserve(config_.numSms);
     for (unsigned s = 0; s < config_.numSms; ++s)
         sms_.push_back(std::make_unique<Sm>(s, config_, memory_, scene_));
@@ -24,54 +26,123 @@ Gpu::run(const Program &program, const LaunchParams &launch)
 GpuResult
 Gpu::runMulti(const std::vector<KernelLaunch> &kernels)
 {
-    fatal_if(kernels.empty(), "no kernels to launch");
-    unsigned max_warps = 0;
-    for (const auto &k : kernels) {
-        panic_if(k.program == nullptr, "kernel without a program");
-        k.program->validate();
-        fatal_if(k.launch.numWarps == 0, "launch with zero warps");
-        fatal_if(k.launch.warpsPerCta == 0, "warpsPerCta must be nonzero");
-        max_warps = std::max(max_warps, k.launch.numWarps);
-    }
-
-    // Interleave warps across kernels so co-scheduled queues contend
-    // for slots from the start, then round-robin across SMs.
-    unsigned wid = 0;
-    for (unsigned i = 0; i < max_warps; ++i) {
-        for (const auto &k : kernels) {
-            if (i >= k.launch.numWarps)
-                continue;
-            auto warp =
-                std::make_unique<Warp>(wid, 0, k.program, warpSize);
-            warp->logicalId = i;
-            warp->ctaId = i / k.launch.warpsPerCta;
-            sms_[wid % sms_.size()]->addWarp(std::move(warp));
-            ++wid;
-        }
-    }
-
     GpuResult result;
-    Cycle now = 0;
-    while (true) {
-        bool all_done = true;
-        for (auto &sm : sms_) {
-            if (!sm->done()) {
-                all_done = false;
-                break;
+    try {
+        sim_throw_if(kernels.empty(), ErrorKind::Config,
+                     "no kernels to launch");
+        unsigned max_warps = 0;
+        for (const auto &k : kernels) {
+            sim_throw_if(k.program == nullptr, ErrorKind::Config,
+                         "kernel without a program");
+            k.program->validate();
+            sim_throw_if(k.launch.numWarps == 0, ErrorKind::Config,
+                         "launch with zero warps");
+            sim_throw_if(k.launch.warpsPerCta == 0, ErrorKind::Config,
+                         "warpsPerCta must be nonzero");
+            max_warps = std::max(max_warps, k.launch.numWarps);
+        }
+
+        // Interleave warps across kernels so co-scheduled queues contend
+        // for slots from the start, then round-robin across SMs.
+        unsigned wid = 0;
+        for (unsigned i = 0; i < max_warps; ++i) {
+            for (const auto &k : kernels) {
+                if (i >= k.launch.numWarps)
+                    continue;
+                auto warp =
+                    std::make_unique<Warp>(wid, 0, k.program, warpSize);
+                warp->logicalId = i;
+                warp->ctaId = i / k.launch.warpsPerCta;
+                sms_[wid % sms_.size()]->addWarp(std::move(warp));
+                ++wid;
             }
         }
-        if (all_done)
-            break;
-        if (now >= config_.maxCycles) {
-            result.timedOut = true;
-            warn("kernel '%s' hit the %llu-cycle watchdog",
-                 kernels.front().program->name().c_str(),
-                 static_cast<unsigned long long>(config_.maxCycles));
-            break;
+
+        // Forward-progress tracking: cycles since the last issue
+        // anywhere on the GPU. A long quiet spell is only a livelock
+        // when no writeback is in flight — pending events always fire
+        // at a bounded future cycle, so a stalled-but-live machine
+        // keeps its wakeups queued.
+        Cycle now = 0;
+        std::uint64_t last_issued = 0;
+        Cycle last_progress = 0;
+        while (true) {
+            bool all_done = true;
+            for (auto &sm : sms_) {
+                if (!sm->done()) {
+                    all_done = false;
+                    break;
+                }
+            }
+            if (all_done)
+                break;
+            if (now >= config_.maxCycles) {
+                result.timedOut = true;
+                warn("kernel '%s' hit the %llu-cycle watchdog",
+                     kernels.front().program->name().c_str(),
+                     static_cast<unsigned long long>(config_.maxCycles));
+                result.status = RunStatus::failure(
+                    ErrorKind::CycleLimit,
+                    "kernel '" + kernels.front().program->name() +
+                        "' exceeded the " +
+                        std::to_string(config_.maxCycles) + "-cycle cap");
+                break;
+            }
+
+            if (config_.faultHook)
+                (config_.faultHook)(*this, now);
+
+            if (config_.cancelHook &&
+                now % config_.cancelCheckInterval == 0 &&
+                (config_.cancelHook)()) {
+                throw SimError(ErrorKind::WallClock,
+                               "run cancelled (wall-clock budget "
+                               "exhausted) at cycle " +
+                                   std::to_string(now));
+            }
+
+            for (auto &sm : sms_)
+                sm->tick(now);
+            ++now;
+
+            std::uint64_t issued = 0;
+            bool events_pending = false;
+            for (const auto &sm : sms_) {
+                issued += sm->stats().instrsIssued;
+                events_pending |= sm->hasPendingWritebacks();
+            }
+            if (issued != last_issued || events_pending) {
+                last_issued = issued;
+                last_progress = now;
+            } else if (config_.livelockCycles &&
+                       now - last_progress >= config_.livelockCycles) {
+                std::string dump;
+                for (const auto &sm : sms_)
+                    dump += sm->dumpState();
+                throw SimError(
+                    ErrorKind::Livelock,
+                    "no instruction issued and no writeback in flight "
+                    "for " +
+                        std::to_string(now - last_progress) +
+                        " cycles (cycle " + std::to_string(now) + ")",
+                    dump);
+            }
+
+            if (config_.checkInvariants &&
+                now % config_.invariantCheckInterval == 0) {
+                for (const auto &sm : sms_) {
+                    std::string violation = sm->auditInvariants();
+                    if (!violation.empty()) {
+                        throw SimError(ErrorKind::InvariantViolation,
+                                       "invariant audit failed at cycle " +
+                                           std::to_string(now),
+                                       violation);
+                    }
+                }
+            }
         }
-        for (auto &sm : sms_)
-            sm->tick(now);
-        ++now;
+    } catch (const SimError &e) {
+        result.status = e.status();
     }
 
     for (auto &sm : sms_) {
@@ -87,8 +158,16 @@ GpuResult
 simulate(const GpuConfig &config, Memory &memory, const Program &program,
          const LaunchParams &launch, const Bvh *scene)
 {
-    Gpu gpu(config, memory, scene);
-    return gpu.run(program, launch);
+    try {
+        Gpu gpu(config, memory, scene);
+        return gpu.run(program, launch);
+    } catch (const SimError &e) {
+        // Construction-time failures (bad cache geometry, zero SMs)
+        // throw before a Gpu exists to absorb them.
+        GpuResult result;
+        result.status = e.status();
+        return result;
+    }
 }
 
 } // namespace si

@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/sim_error.hh"
 #include "core/sm.hh"
 
 namespace si {
@@ -32,9 +33,14 @@ struct KernelLaunch
 struct GpuResult
 {
     Cycle cycles = 0;       ///< kernel runtime (max over SMs)
-    bool timedOut = false;  ///< hit GpuConfig::maxCycles
-    SmStats total;          ///< statistics summed over SMs
+    bool timedOut = false;  ///< legacy mirror of CycleLimit status
+    RunStatus status;       ///< why the run ended (ok, or a failure)
+    SmStats total;          ///< statistics summed over SMs (partial on
+                            ///< failure: everything up to the error)
     std::vector<SmStats> perSm;
+
+    /** True when the kernel ran to completion. */
+    bool ok() const { return status.ok(); }
 
     /** Sum of per-SM active cycles (the normalizer for SM metrics). */
     std::uint64_t
@@ -76,9 +82,14 @@ class Gpu
         const Bvh *scene = nullptr);
 
     /**
-     * Execute @p program to completion (or the cycle watchdog).
+     * Execute @p program to completion (or a watchdog limit).
      * Warps are distributed round-robin across SMs; SMs admit them to
      * processing blocks as occupancy allows.
+     *
+     * Errors do not escape as exceptions: launch validation failures,
+     * barrier deadlocks, livelocks, and invariant violations unwind the
+     * run and come back in GpuResult::status, with whatever statistics
+     * had accumulated up to the failure.
      */
     GpuResult run(const Program &program, const LaunchParams &launch);
 

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/log.hh"
+#include "common/sim_error.hh"
+#include "core/invariants.hh"
 
 namespace si {
 
@@ -131,11 +133,11 @@ Sm::addWarp(std::unique_ptr<Warp> warp)
         const unsigned regs_per_warp =
             warp->program().numRegs() * warpSize;
         unsigned by_regs = config_.regFilePerPb / regs_per_warp;
-        fatal_if(by_regs == 0,
-                 "kernel '%s' needs %u registers/warp; register file "
-                 "holds only %u",
-                 warp->program().name().c_str(), regs_per_warp,
-                 config_.regFilePerPb);
+        sim_throw_if(by_regs == 0, ErrorKind::Config,
+                     "kernel '%s' needs %u registers/warp; register file "
+                     "holds only %u",
+                     warp->program().name().c_str(), regs_per_warp,
+                     config_.regFilePerPb);
         // Informational bound for single-kernel launches; admission
         // itself checks slots and register-file headroom per warp.
         maxResidentPerPb_ =
@@ -229,9 +231,15 @@ Sm::evalWarp(unsigned warp_idx, Cycle now)
         }
         if (w.lanesInState(ThreadState::Stalled).any())
             return WarpStatus::WaitWakeup;
-        panic("warp %u: convergence barrier deadlock (all live lanes "
-              "blocked, none ready or stalled)",
-              w.id());
+        // Every live lane is BLOCKED and no subwarp can ever arrive to
+        // complete a barrier: this warp is deadlocked. Unwind with the
+        // full machinery state so the failure is diagnosable.
+        throw SimError(
+            ErrorKind::BarrierDeadlock,
+            "sm" + std::to_string(id_) + " warp " + std::to_string(w.id()) +
+                ": convergence barrier deadlock (all live lanes blocked, "
+                "none ready or stalled)",
+            describeWarpState(w));
     }
 
     if (now < w.issueReadyAt)
@@ -625,8 +633,8 @@ Sm::issue(unsigned warp_idx, Cycle now)
 
       case Opcode::RTQUERY: {
         ++stats_.rtQueriesIssued;
-        panic_if(!rtcore_.hasScene(),
-                 "RTQUERY issued but no scene is attached");
+        sim_throw_if(!rtcore_.hasScene(), ErrorKind::Config,
+                     "RTQUERY issued but no scene is attached");
         std::array<Ray, warpSize> rays;
         for (unsigned lane : lanesOf(exec)) {
             Ray &r = rays[lane];
@@ -702,7 +710,8 @@ Sm::issue(unsigned warp_idx, Cycle now)
       }
 
       default:
-        panic("unhandled opcode %s", opcodeName(in.op));
+        sim_throw(ErrorKind::Internal, "unhandled opcode %s",
+                  opcodeName(in.op));
     }
 
     if (!advanced)
@@ -869,6 +878,62 @@ Sm::tick(Cycle now)
             ++stats_.exposedFetchStallCycles;
         }
     }
+}
+
+std::string
+Sm::auditInvariants() const
+{
+    for (std::size_t wi = 0; wi < warps_.size(); ++wi) {
+        const Warp &w = *warps_[wi];
+        if (w.done())
+            continue;
+        PendingWbCounts pending{};
+        for (const auto &[when, wb] : events_) {
+            if (wb.warpIdx != wi)
+                continue;
+            for (unsigned lane : lanesOf(wb.mask))
+                ++pending[lane][wb.sb];
+        }
+        std::string violation = auditWarpInvariants(w, pending);
+        if (!violation.empty()) {
+            return "sm" + std::to_string(id_) + " warp " +
+                   std::to_string(w.id()) + ": " + violation + "\n" +
+                   describeWarpState(w);
+        }
+    }
+    return "";
+}
+
+std::string
+Sm::dumpState() const
+{
+    std::string out;
+    for (const auto &w : warps_) {
+        if (!w->done())
+            out += describeWarpState(*w);
+    }
+    if (!pendingAdmission_.empty()) {
+        out += "sm" + std::to_string(id_) + ": " +
+               std::to_string(pendingAdmission_.size()) +
+               " warps awaiting admission\n";
+    }
+    return out;
+}
+
+std::string
+Sm::dropPendingWriteback()
+{
+    if (events_.empty())
+        return "";
+    const auto it = events_.begin();
+    const Writeback &wb = it->second;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "sm%u warp %u sb%u mask=0x%08x due cycle %llu", id_,
+                  warps_[wb.warpIdx]->id(), wb.sb, wb.mask.raw(),
+                  static_cast<unsigned long long>(it->first));
+    events_.erase(it);
+    return buf;
 }
 
 void

@@ -135,6 +135,32 @@ class Sm
     /** Finalize statistics (fold in unit/cache counters). */
     void finalizeStats();
 
+    // ---- fault-tolerance support ----
+
+    /** True while a writeback (scoreboard release) is still in flight. */
+    bool hasPendingWritebacks() const { return !events_.empty(); }
+
+    /**
+     * Audit every resident warp against the invariants of
+     * core/invariants.hh (scoreboard release balance vs the in-flight
+     * writeback queue, TST leaks, mask discipline).
+     * @return empty when clean, else a violation report plus the
+     *         offending warp's full state dump.
+     */
+    std::string auditInvariants() const;
+
+    /** State dump of every unfinished warp (watchdog diagnostics). */
+    std::string dumpState() const;
+
+    /**
+     * Fault injection: silently discard the earliest pending writeback,
+     * so its scoreboard never drains. The watchdog or invariant checker
+     * must catch the resulting livelock/imbalance.
+     * @return a description of the dropped event, or empty when no
+     *         writeback was pending.
+     */
+    std::string dropPendingWriteback();
+
     const SmStats &stats() const { return stats_; }
     SmStats &stats() { return stats_; }
 

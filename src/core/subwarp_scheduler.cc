@@ -1,6 +1,7 @@
 #include "core/subwarp_scheduler.hh"
 
 #include "common/log.hh"
+#include "common/sim_error.hh"
 
 namespace si {
 
@@ -15,8 +16,9 @@ SubwarpUnit::diverge(Warp &warp, ThreadMask taken, std::uint32_t taken_pc,
 {
     const ThreadMask active = warp.activeMask();
     const ThreadMask not_taken = active - taken;
-    panic_if(taken.empty() || not_taken.empty(),
-             "diverge() called on a uniform branch");
+    sim_throw_if(taken.empty() || not_taken.empty(),
+                 ErrorKind::Internal,
+                 "diverge() called on a uniform branch");
 
     bool keep_taken;
     switch (config_.divergeOrder) {
@@ -149,7 +151,8 @@ SubwarpUnit::subwarpStall(Warp &warp, std::uint8_t req_mask, Cycle now)
         return false;
 
     const ThreadMask active = warp.activeMask();
-    panic_if(active.empty(), "subwarp-stall with no active subwarp");
+    sim_throw_if(active.empty(), ErrorKind::Internal,
+                 "subwarp-stall with no active subwarp");
     if (warp.readySubwarps().empty())
         return false;
 
@@ -177,8 +180,8 @@ SubwarpUnit::subwarpStall(Warp &warp, std::uint8_t req_mask, Cycle now)
     entry->sbCount = entry->sbId == sbNone
                          ? 0
                          : sb.maxCount(active, entry->sbId);
-    panic_if(entry->sbId == sbNone,
-             "subwarp-stall but no scoreboard is blocking");
+    sim_throw_if(entry->sbId == sbNone, ErrorKind::Internal,
+                 "subwarp-stall but no scoreboard is blocking");
 
     for (unsigned lane : lanesOf(active))
         warp.setState(lane, ThreadState::Stalled);
@@ -195,7 +198,8 @@ SubwarpUnit::subwarpYield(Warp &warp, Cycle now)
         return false;
 
     const ThreadMask active = warp.activeMask();
-    panic_if(active.empty(), "subwarp-yield with no active subwarp");
+    sim_throw_if(active.empty(), ErrorKind::Internal,
+                 "subwarp-yield with no active subwarp");
 
     // Yield is only profitable when a *different* subwarp can take over;
     // otherwise selection would fall straight back to us (paper III-B).

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "common/sim_error.hh"
 
 namespace si {
 
@@ -10,9 +11,11 @@ Warp::Warp(unsigned id, unsigned pb, const Program *program,
            unsigned num_threads)
     : id_(id), pb_(pb), program_(program)
 {
-    panic_if(program == nullptr, "warp created without a program");
-    panic_if(num_threads == 0 || num_threads > warpSize,
-             "warp %u: bad thread count %u", id, num_threads);
+    sim_throw_if(program == nullptr, ErrorKind::Config,
+                 "warp created without a program");
+    sim_throw_if(num_threads == 0 || num_threads > warpSize,
+                 ErrorKind::Config, "warp %u: bad thread count %u", id,
+                 num_threads);
 
     regs_.assign(std::size_t(program->numRegs()) * warpSize, 0);
     blockedOn_.fill(barNone);

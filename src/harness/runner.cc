@@ -1,6 +1,10 @@
 #include "harness/runner.hh"
 
+#include <chrono>
+#include <exception>
+
 #include "common/log.hh"
+#include "common/sim_error.hh"
 
 namespace si {
 
@@ -62,12 +66,64 @@ withDws(GpuConfig config)
 GpuResult
 runWorkload(const Workload &workload, GpuConfig config)
 {
-    panic_if(!workload.memory, "workload '%s' has no memory image",
-             workload.name.c_str());
+    sim_throw_if(!workload.memory, ErrorKind::Config,
+                 "workload '%s' has no memory image",
+                 workload.name.c_str());
     config.rtc = workload.rtc;
     Memory mem = *workload.memory; // fresh copy per run
     return simulate(config, mem, workload.program, workload.launch,
                     workload.bvh());
+}
+
+RunOutcome
+runWorkloadSafe(const Workload &workload, GpuConfig config,
+                double wall_timeout_sec)
+{
+    using clock = std::chrono::steady_clock;
+    const auto start = clock::now();
+    if (wall_timeout_sec > 0) {
+        const auto deadline =
+            start + std::chrono::duration_cast<clock::duration>(
+                        std::chrono::duration<double>(wall_timeout_sec));
+        config.cancelHook = [deadline] {
+            return clock::now() >= deadline;
+        };
+    }
+
+    RunOutcome outcome;
+    outcome.name = workload.name;
+    try {
+        outcome.result = runWorkload(workload, std::move(config));
+    } catch (const SimError &e) {
+        // simulate() absorbs run-time SimErrors; this catches the
+        // pre-run ones (e.g. a workload with no memory image).
+        outcome.result.status = e.status();
+    } catch (const std::exception &e) {
+        outcome.result.status = RunStatus::failure(
+            ErrorKind::Internal,
+            std::string("unexpected exception: ") + e.what());
+    }
+    outcome.wallSeconds =
+        std::chrono::duration<double>(clock::now() - start).count();
+    return outcome;
+}
+
+std::vector<RunOutcome>
+runSuiteSafe(const std::vector<Workload> &suite, const GpuConfig &config,
+             double per_run_timeout_sec)
+{
+    std::vector<RunOutcome> outcomes;
+    outcomes.reserve(suite.size());
+    for (const Workload &wl : suite) {
+        outcomes.push_back(
+            runWorkloadSafe(wl, config, per_run_timeout_sec));
+        const RunOutcome &o = outcomes.back();
+        if (!o.ok()) {
+            warn("workload '%s' failed (%s); continuing sweep",
+                 o.name.c_str(), o.result.status.summary().c_str());
+        }
+    }
+    return outcomes;
 }
 
 double

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "common/sim_error.hh"
 
 namespace si {
 
@@ -513,7 +514,8 @@ Program
 assembleOrDie(const std::string &source)
 {
     AsmResult r = assemble(source);
-    fatal_if(!r.ok, "assembly failed: %s", r.error.c_str());
+    if (!r.ok)
+        throw SimError(ErrorKind::Parse, "assembly failed: " + r.error);
     return std::move(r.program);
 }
 

@@ -35,7 +35,11 @@ struct AsmResult
 /** Assemble @p source into a Program. Never exits; errors are returned. */
 AsmResult assemble(const std::string &source);
 
-/** Assemble or die — convenience for tests and generators. */
+/**
+ * Assemble or throw — convenience for tests and generators. Errors
+ * surface as SimError(ErrorKind::Parse) instead of aborting, so
+ * harnesses can classify and continue.
+ */
 Program assembleOrDie(const std::string &source);
 
 } // namespace si

@@ -1,6 +1,7 @@
 #include "isa/program.hh"
 
 #include "common/log.hh"
+#include "common/sim_error.hh"
 
 namespace si {
 
@@ -70,8 +71,10 @@ void
 Program::validate() const
 {
     std::string err = check();
-    fatal_if(!err.empty(), "program '%s' invalid: %s", name_.c_str(),
-             err.c_str());
+    if (!err.empty()) {
+        throw SimError(ErrorKind::Parse,
+                       "program '" + name_ + "' invalid: " + err);
+    }
 }
 
 std::string

@@ -58,12 +58,12 @@ class Program
     /**
      * Structural validation: branch targets in range, register indices
      * within numRegs, BSSY/BSYNC barrier indices valid, terminating EXIT
-     * reachable. Calls fatal() on violation, so tests can use
-     * EXPECT_EXIT-free "validate returns" checks via validateOrThrow.
+     * reachable. Throws SimError(ErrorKind::Parse) on violation, which
+     * Gpu::runMulti converts into a failed GpuResult.
      */
     void validate() const;
 
-    /** Like validate() but returns an error string instead of exiting. */
+    /** Like validate() but returns an error string instead of throwing. */
     std::string check() const;
 
     /** Full disassembly listing. */

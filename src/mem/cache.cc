@@ -3,26 +3,32 @@
 #include <bit>
 
 #include "common/log.hh"
+#include "common/sim_error.hh"
 
 namespace si {
 
 Cache::Cache(const CacheConfig &config) : config_(config)
 {
-    fatal_if(config_.lineBytes == 0 ||
-                 !std::has_single_bit(std::uint64_t(config_.lineBytes)),
-             "cache '%s': line size must be a power of two",
-             config_.name.c_str());
-    fatal_if(config_.assoc == 0, "cache '%s': assoc must be nonzero",
-             config_.name.c_str());
+    sim_throw_if(config_.lineBytes == 0 ||
+                     !std::has_single_bit(
+                         std::uint64_t(config_.lineBytes)),
+                 ErrorKind::Config,
+                 "cache '%s': line size must be a power of two",
+                 config_.name.c_str());
+    sim_throw_if(config_.assoc == 0, ErrorKind::Config,
+                 "cache '%s': assoc must be nonzero",
+                 config_.name.c_str());
 
     std::uint64_t lines = config_.sizeBytes / config_.lineBytes;
-    fatal_if(lines == 0 || lines % config_.assoc != 0,
-             "cache '%s': size/line/assoc geometry inconsistent",
-             config_.name.c_str());
+    sim_throw_if(lines == 0 || lines % config_.assoc != 0,
+                 ErrorKind::Config,
+                 "cache '%s': size/line/assoc geometry inconsistent",
+                 config_.name.c_str());
     numSets_ = unsigned(lines / config_.assoc);
-    fatal_if(!std::has_single_bit(std::uint64_t(numSets_)),
-             "cache '%s': set count must be a power of two",
-             config_.name.c_str());
+    sim_throw_if(!std::has_single_bit(std::uint64_t(numSets_)),
+                 ErrorKind::Config,
+                 "cache '%s': set count must be a power of two",
+                 config_.name.c_str());
     lines_.resize(lines);
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/log.hh"
+#include "common/sim_error.hh"
 #include "rt/shader_body.hh"
 
 namespace si {
@@ -147,8 +148,12 @@ launch(const Program &prog, const std::vector<std::uint32_t> &queue,
     lp.numWarps = unsigned((queue.size() + warpSize - 1) / warpSize);
     lp.warpsPerCta = 4;
     const GpuResult r = simulate(gpu_config, mem, prog, lp, bvh);
-    panic_if(r.timedOut, "wavefront kernel '%s' timed out",
-             prog.name().c_str());
+    if (!r.ok()) {
+        throw SimError(r.status.kind,
+                       "wavefront kernel '" + prog.name() +
+                           "' failed: " + r.status.message,
+                       r.status.diagnostic);
+    }
     return r.cycles;
 }
 

@@ -1,5 +1,6 @@
 /** @file KernelBuilder misuse and Program edge-case handling. */
 
+#include <gmock/gmock.h>
 #include <gtest/gtest.h>
 
 #include "core/gpu.hh"
@@ -85,12 +86,11 @@ TEST(ProgramEdge, EmptyWarpLaunchRejected)
     const Program p = kb.build(8);
     GpuConfig cfg;
     cfg.numSms = 1;
-    EXPECT_EXIT(
-        {
-            Memory mem;
-            simulate(cfg, mem, p, {0, 1});
-        },
-        ::testing::ExitedWithCode(1), "zero warps");
+    Memory mem;
+    const GpuResult r = simulate(cfg, mem, p, {0, 1});
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status.kind, ErrorKind::Config);
+    EXPECT_THAT(r.status.message, ::testing::HasSubstr("zero warps"));
 }
 
 TEST(ProgramEdge, RegisterHungryKernelRejected)
@@ -101,12 +101,11 @@ TEST(ProgramEdge, RegisterHungryKernelRejected)
     GpuConfig cfg;
     cfg.numSms = 1;
     cfg.regFilePerPb = 4096; // cannot host even one warp
-    EXPECT_EXIT(
-        {
-            Memory mem;
-            simulate(cfg, mem, p, {1, 1});
-        },
-        ::testing::ExitedWithCode(1), "register file");
+    Memory mem;
+    const GpuResult r = simulate(cfg, mem, p, {1, 1});
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status.kind, ErrorKind::Config);
+    EXPECT_THAT(r.status.message, ::testing::HasSubstr("register file"));
 }
 
 TEST(ProgramEdge, PartialWarpKernelRuns)

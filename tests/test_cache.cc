@@ -1,6 +1,9 @@
 /** @file Unit + property tests for the set-associative LRU cache. */
 
+#include <gmock/gmock.h>
 #include <gtest/gtest.h>
+
+#include "common/sim_error.hh"
 
 #include "common/rng.hh"
 #include "mem/cache.hh"
@@ -8,6 +11,8 @@
 using si::Addr;
 using si::Cache;
 using si::CacheConfig;
+using si::ErrorKind;
+using si::SimError;
 
 namespace {
 
@@ -156,8 +161,13 @@ TEST(CacheDeath, RejectsNonPowerOfTwoLine)
     cfg.sizeBytes = 1024;
     cfg.lineBytes = 100;
     cfg.assoc = 2;
-    EXPECT_EXIT(Cache c(cfg), ::testing::ExitedWithCode(1),
-                "power of two");
+    try {
+        Cache c(cfg);
+        FAIL() << "bad line size accepted";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Config);
+        EXPECT_THAT(e.what(), ::testing::HasSubstr("power of two"));
+    }
 }
 
 TEST(CacheDeath, RejectsZeroAssoc)
@@ -166,5 +176,11 @@ TEST(CacheDeath, RejectsZeroAssoc)
     cfg.sizeBytes = 1024;
     cfg.lineBytes = 128;
     cfg.assoc = 0;
-    EXPECT_EXIT(Cache c(cfg), ::testing::ExitedWithCode(1), "assoc");
+    try {
+        Cache c(cfg);
+        FAIL() << "zero assoc accepted";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Config);
+        EXPECT_THAT(e.what(), ::testing::HasSubstr("assoc"));
+    }
 }

@@ -4,6 +4,7 @@
  * accounting, instruction fetch, watchdog, and multi-SM distribution.
  */
 
+#include <gmock/gmock.h>
 #include <gtest/gtest.h>
 
 #include "core/gpu.hh"
@@ -211,7 +212,7 @@ EXIT
     EXPECT_FALSE(r.timedOut);
 }
 
-TEST(SmIntegrationDeath, BarrierDeadlockPanics)
+TEST(SmIntegrationDeath, BarrierDeadlockFailsTheRun)
 {
     // Two subwarps block on *different* barriers that can never
     // complete: B0 waits for lanes that wait on B1 and vice versa.
@@ -232,10 +233,14 @@ EXIT
     GpuConfig cfg;
     cfg.numSms = 1;
     cfg.maxCycles = 100000;
-    EXPECT_DEATH(
-        {
-            Memory mem;
-            simulate(cfg, mem, assembleOrDie(src), {1, 1});
-        },
-        "deadlock");
+    Memory mem;
+    const GpuResult r = simulate(cfg, mem, assembleOrDie(src), {1, 1});
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status.kind, ErrorKind::BarrierDeadlock);
+    EXPECT_THAT(r.status.message, ::testing::HasSubstr("deadlock"));
+    // The diagnostic dumps the stuck warp: both barriers and their
+    // cross-blocked participants must be visible.
+    EXPECT_THAT(r.status.diagnostic, ::testing::HasSubstr("BLOCKED"));
+    EXPECT_THAT(r.status.diagnostic, ::testing::HasSubstr("barrier B0"));
+    EXPECT_THAT(r.status.diagnostic, ::testing::HasSubstr("barrier B1"));
 }

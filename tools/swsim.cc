@@ -17,12 +17,17 @@
  *   --mshrs N          outstanding-miss budget (default unlimited)
  *   --hints            run the static stall-hint pass + hint policy
  *   --sched gto|lrr    warp scheduler (default gto)
+ *   --check-invariants run the opt-in machine-state audits
+ *   --inject K         fault injection: K = scoreboard|dropwb|barrier;
+ *                      corrupts live state mid-run and reports whether
+ *                      the watchdog/checker caught it (exit 0 = caught)
  *   --stats            dump full statistics
  *   --trace            print the per-issue timeline
  *   --disasm           print the kernel listing before running
  *   --compare          also run the baseline and report the speedup
  *
- * Exit status: 0 on success, 1 on bad usage/assembly/timeout.
+ * Exit status: 0 on success (for --inject: fault caught), 1 on bad
+ * usage, assembly error, or a failed/undetected run.
  */
 
 #include <cstdio>
@@ -32,6 +37,7 @@
 #include <string>
 
 #include "common/log.hh"
+#include "fault/injector.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
 #include "isa/assembler.hh"
@@ -81,6 +87,8 @@ main(int argc, char **argv)
     bool si_on = false, yield = false, hints = false;
     bool dump_stats = false, trace = false, disasm = false;
     bool compare = false;
+    bool inject = false;
+    si::FaultKind fault_kind = si::FaultKind::ScoreboardCorruption;
 
     for (int i = 2; i < argc; ++i) {
         const std::string a = argv[i];
@@ -143,6 +151,26 @@ main(int argc, char **argv)
                              s.c_str());
                 return 1;
             }
+        } else if (a == "--check-invariants") {
+            cfg.checkInvariants = true;
+        } else if (a == "--inject") {
+            if (i + 1 >= argc) {
+                usage();
+                return 1;
+            }
+            const std::string k = argv[++i];
+            if (k == "scoreboard")
+                fault_kind = si::FaultKind::ScoreboardCorruption;
+            else if (k == "dropwb")
+                fault_kind = si::FaultKind::DroppedWriteback;
+            else if (k == "barrier")
+                fault_kind = si::FaultKind::BarrierMaskCorruption;
+            else {
+                std::fprintf(stderr, "swsim: bad fault kind '%s'\n",
+                             k.c_str());
+                return 1;
+            }
+            inject = true;
         } else if (a == "--stats") {
             dump_stats = true;
         } else if (a == "--trace") {
@@ -196,11 +224,44 @@ main(int argc, char **argv)
         };
     }
 
+    if (inject) {
+        // Fault-injection mode: corrupt the machine mid-run and report
+        // whether the fault-tolerance layer caught and classified it.
+        si::Memory mem;
+        const std::vector<si::FaultSpec> specs = {
+            {fault_kind, 500, cfg.rngSeed}};
+        const std::vector<si::CampaignRun> runs = si::runCampaign(
+            prog, {warps, 4}, mem, cfg, specs);
+        const si::CampaignRun &run = runs.front();
+        if (!run.injected) {
+            std::fprintf(stderr,
+                         "swsim: no %s injection point reached\n",
+                         si::faultKindName(fault_kind));
+            return 1;
+        }
+        std::printf("injected: %s\n", run.description.c_str());
+        if (!run.caught()) {
+            std::fprintf(stderr,
+                         "swsim: fault NOT detected (run finished with "
+                         "status '%s')\n",
+                         run.result.status.summary().c_str());
+            return 1;
+        }
+        std::printf("caught: [%s] %s\n",
+                    si::errorKindName(run.result.status.kind),
+                    run.result.status.message.c_str());
+        return 0;
+    }
+
     si::Memory mem;
     const si::GpuResult r =
         si::simulate(cfg, mem, prog, {warps, 4});
-    if (r.timedOut) {
-        std::fprintf(stderr, "swsim: kernel timed out\n");
+    if (!r.ok()) {
+        std::fprintf(stderr, "swsim: run failed [%s]: %s\n",
+                     si::errorKindName(r.status.kind),
+                     r.status.message.c_str());
+        if (!r.status.diagnostic.empty())
+            std::fprintf(stderr, "%s", r.status.diagnostic.c_str());
         return 1;
     }
 
