@@ -13,6 +13,8 @@ run() {
     cmake --build "$dir" -j "$(nproc)"
     echo "=== test $dir"
     ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
+    echo "=== difftest $dir (256 kernels, fixed seed)"
+    "$dir/tools/difftest" --seeds 256
 }
 
 run build-release -DCMAKE_BUILD_TYPE=Release

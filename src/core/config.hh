@@ -25,6 +25,14 @@ struct IssueEvent
     unsigned warpId;
     std::uint32_t pc;
     ThreadMask activeMask;
+
+    /**
+     * Lanes of activeMask whose guard predicate passed — the lanes that
+     * architecturally execute the instruction (the rest only advance
+     * their PC). Drives the retirement traces the differential oracle
+     * compares against the reference interpreter (core/retire_trace.hh).
+     */
+    ThreadMask execMask;
 };
 
 /**

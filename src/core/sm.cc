@@ -11,17 +11,6 @@ namespace si {
 
 namespace {
 
-/** Device address where the texture segment lives. */
-constexpr Addr texSegmentBase = 0x40000000ull;
-
-/** Texture address hash: maps (u, v) into a 16 MiB texture segment. */
-Addr
-texAddress(std::uint32_t u, std::uint32_t v)
-{
-    const std::uint32_t offset = ((u << 10) ^ v) & 0x3fffffu;
-    return texSegmentBase + Addr(offset) * 4;
-}
-
 float
 asFloat(std::uint32_t bits)
 {
@@ -328,7 +317,7 @@ Sm::issue(unsigned warp_idx, Cycle now)
     w.lastIssueCycle = now;
 
     if (config_.issueHook)
-        config_.issueHook({now, id_, w.id(), pc, active});
+        config_.issueHook({now, id_, w.id(), pc, active, exec});
 
     auto advance = [&]() {
         for (unsigned lane : lanesOf(active))
@@ -606,7 +595,7 @@ Sm::issue(unsigned warp_idx, Cycle now)
         unsigned num_lines = 0;
         for (unsigned lane : lanesOf(exec)) {
             const Addr addr =
-                texAddress(rd(lane, in.srcA), rd(lane, in.srcB));
+                texelAddress(rd(lane, in.srcA), rd(lane, in.srcB));
             w.setReg(lane, in.dst, memory_.read(addr));
             const Addr line = l1d_.lineOf(addr);
             bool seen = false;

@@ -69,6 +69,22 @@ class Program
     /** Full disassembly listing. */
     std::string disasm() const;
 
+    /**
+     * Assembler-compatible source text (.kernel/.regs header plus one
+     * instruction per line) that round-trips through assemble(). The
+     * differential harness uses it to persist shrunk failing kernels.
+     */
+    std::string sourceText() const;
+
+    /**
+     * A copy of this program with the instruction at @p pc removed and
+     * every branch/BSSY target remapped. Targets past @p pc shift down
+     * by one; a target at exactly @p pc now names the instruction that
+     * followed the deleted one. The result is NOT validated — the
+     * shrinker probes check() itself and skips illegal deletions.
+     */
+    Program withoutInstr(std::uint32_t pc) const;
+
   private:
     std::string name_;
     std::vector<Instr> instrs_;

@@ -28,4 +28,24 @@ Memory::fill(Addr base, const std::vector<std::uint32_t> &values)
         write(base + Addr(i) * 4, values[i]);
 }
 
+bool
+Memory::firstDifference(const Memory &other, Addr &addr_out) const
+{
+    bool found = false;
+    Addr lowest = 0;
+    auto scan = [&](const Memory &a, const Memory &b) {
+        for (const auto &[addr, value] : a.words_) {
+            if (b.read(addr) != value && (!found || addr < lowest)) {
+                found = true;
+                lowest = addr;
+            }
+        }
+    };
+    scan(*this, other);
+    scan(other, *this);
+    if (found)
+        addr_out = lowest;
+    return found;
+}
+
 } // namespace si

@@ -17,6 +17,21 @@
 
 namespace si {
 
+/** Device address where the texture segment lives. */
+inline constexpr Addr texSegmentBase = 0x40000000ull;
+
+/**
+ * Texture address hash: maps (u, v) into a 16 MiB texture segment.
+ * Shared by the cycle model (core/sm.cc) and the functional reference
+ * interpreter (ref/interp.cc) so TEX/TLD semantics cannot drift apart.
+ */
+inline Addr
+texelAddress(std::uint32_t u, std::uint32_t v)
+{
+    const std::uint32_t offset = ((u << 10) ^ v) & 0x3fffffu;
+    return texSegmentBase + Addr(offset) * 4;
+}
+
 /** Sparse functional memory image. Unwritten words read as zero. */
 class Memory
 {
@@ -46,6 +61,20 @@ class Memory
     void fill(Addr base, const std::vector<std::uint32_t> &values);
 
     std::size_t footprintWords() const { return words_.size(); }
+
+    /** Raw word map, for whole-image diffing (the differential oracle). */
+    const std::unordered_map<Addr, std::uint32_t> &
+    words() const
+    {
+        return words_;
+    }
+
+    /**
+     * First address (lowest) whose word differs from @p other, treating
+     * absent words as zero. @return true and sets @p addr_out when a
+     * difference exists.
+     */
+    bool firstDifference(const Memory &other, Addr &addr_out) const;
 
     // ---- constant bank (LDC) ----
 

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Differential-testing harness: runs a kernel through the functional
+ * reference interpreter (ref/interp.hh) and the cycle-level model in
+ * every Table-I-style configuration (SI on/off x {2,4,8} warp slots),
+ * failing on any architectural divergence — final memory, registers,
+ * predicates, or per-lane retirement traces. Failing kernels shrink by
+ * greedy instruction deletion.
+ */
+
+#ifndef SI_REF_DIFFTEST_HH
+#define SI_REF_DIFFTEST_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "fault/injector.hh"
+#include "ref/interp.hh"
+#include "ref/kernelgen.hh"
+
+namespace si {
+
+/** One cycle-model configuration the harness cross-checks. */
+struct DiffPoint
+{
+    std::string name;
+    GpuConfig config;
+};
+
+/**
+ * The comparison matrix: {baseline, SI+yield} x warpSlotsPerPb {2,4,8},
+ * single SM so slot pressure actually binds at the small slot counts.
+ */
+std::vector<DiffPoint> diffMatrix();
+
+/** Harness parameters. */
+struct DiffOptions
+{
+    unsigned numWarps = 16;
+    unsigned warpsPerCta = 4;
+    std::uint64_t imageSeed = 99;
+
+    /**
+     * When set, the named fault is injected into every cycle-model run
+     * (earliest cycle 1, so even tiny shrunk kernels are hit). The run
+     * should then *disagree* with the reference — agreement means the
+     * injected bug escaped the oracle.
+     */
+    bool inject = false;
+    FaultKind injectKind = FaultKind::BarrierMaskCorruption;
+    std::uint64_t injectSeed = 1;
+};
+
+/** Outcome of one differential comparison. */
+struct DiffResult
+{
+    /** True when every config point matched the reference exactly. */
+    bool agree = true;
+
+    /** Config point of the first divergence ("" when agree). */
+    std::string point;
+
+    /** Description of the first divergence ("" when agree). */
+    std::string detail;
+
+    /** A fault injection point was reached in at least one run. */
+    bool faultFired = false;
+};
+
+/** Cross-check @p program against the full matrix. */
+DiffResult diffProgram(const Program &program,
+                       const DiffOptions &opts = {});
+
+/** Generate kernel @p seed and cross-check it. */
+DiffResult diffSeed(std::uint64_t seed, const DiffOptions &opts = {},
+                    const KernelGenOptions &gen = {});
+
+/**
+ * Greedy shrink: repeatedly delete single instructions (remapping branch
+ * targets) while @p fails keeps returning true, to a fixpoint. @p fails
+ * is only called on programs that pass Program::check().
+ */
+Program shrinkProgram(const Program &program,
+                      const std::function<bool(const Program &)> &fails);
+
+} // namespace si
+
+#endif // SI_REF_DIFFTEST_HH

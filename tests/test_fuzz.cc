@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "common/rng.hh"
 #include "core/gpu.hh"
 #include "isa/builder.hh"
@@ -186,11 +188,12 @@ class FuzzTest : public ::testing::TestWithParam<std::uint64_t>
 {
 };
 
-} // namespace
-
-TEST_P(FuzzTest, SiNeverChangesArchitecturalResults)
+/** The master invariant for one seed, shared by the fixed ctest matrix
+ *  and the opt-in extended sweep. */
+void
+checkSeed(std::uint64_t seed)
 {
-    Fuzzer fuzzer(GetParam());
+    Fuzzer fuzzer(seed);
     const Program prog = fuzzer.generate();
     ASSERT_EQ(prog.check(), "");
 
@@ -211,12 +214,42 @@ TEST_P(FuzzTest, SiNeverChangesArchitecturalResults)
         cfg.trigger = pt.first;
         const RunOutput rs = runProgram(prog, cfg, 8);
         ASSERT_FALSE(rs.timedOut);
-        EXPECT_EQ(rb.words, rs.words) << "seed " << GetParam();
-        EXPECT_EQ(rb.instrs, rs.instrs) << "seed " << GetParam();
+        EXPECT_EQ(rb.words, rs.words) << "seed " << seed;
+        EXPECT_EQ(rb.instrs, rs.instrs) << "seed " << seed;
     }
 }
 
+/** Fixed 64-seed matrix: deterministic in ctest, spread over the seed
+ *  space by a Fibonacci-hash stride rather than consecutive integers. */
+std::vector<std::uint64_t>
+fixedSeeds()
+{
+    std::vector<std::uint64_t> seeds;
+    for (std::uint64_t i = 0; i < 64; ++i)
+        seeds.push_back(i * 2654435761ull + 17ull);
+    return seeds;
+}
+
+} // namespace
+
+TEST_P(FuzzTest, SiNeverChangesArchitecturalResults)
+{
+    checkSeed(GetParam());
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
-                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 17u, 42u,
-                                           1001u, 31337u, 271828u,
-                                           314159u, 999983u));
+                         ::testing::ValuesIn(fixedSeeds()));
+
+/** Opt-in larger sweep: SI_FUZZ_SEEDS=N checks seeds 0..N-1. */
+TEST(FuzzExtended, EnvSelectedSeedRange)
+{
+    const char *env = std::getenv("SI_FUZZ_SEEDS");
+    if (env == nullptr)
+        GTEST_SKIP() << "set SI_FUZZ_SEEDS=N to fuzz seeds 0..N-1";
+    const std::uint64_t n = std::strtoull(env, nullptr, 0);
+    for (std::uint64_t seed = 0; seed < n; ++seed) {
+        checkSeed(seed);
+        if (::testing::Test::HasFatalFailure())
+            FAIL() << "seed " << seed;
+    }
+}

@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Unit tests for the functional reference interpreter (src/ref): the
+ * divergence-pattern kernels with hand-computed per-lane results, ALU
+ * corner cases, retirement-trace shape, and convergence-barrier
+ * deadlock detection. These pin the oracle itself down so differential
+ * failures against the cycle model implicate the model (or the kernel
+ * generator), not the reference.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+
+#include "isa/assembler.hh"
+#include "ref/interp.hh"
+
+using namespace si;
+
+namespace {
+
+constexpr Addr out = 0x1000;
+
+RefResult
+runRef(const std::string &src, Memory &mem, unsigned warps = 1,
+       unsigned warps_per_cta = 1)
+{
+    const Program p = assembleOrDie(src);
+    return interpret(p, mem, RefLaunch{warps, warps_per_cta});
+}
+
+void
+expectLaneValues(const std::string &src,
+                 const std::function<std::uint32_t(unsigned)> &expect)
+{
+    Memory mem;
+    const RefResult r = runRef(src, mem);
+    ASSERT_TRUE(r.ok) << r.error;
+    for (unsigned lane = 0; lane < warpSize; ++lane) {
+        EXPECT_EQ(mem.read(out + 4 * lane), expect(lane))
+            << "lane " << lane;
+    }
+}
+
+} // namespace
+
+TEST(RefInterp, NestedIfElseWithTwoBarriers)
+{
+    // outer: lane < 16 ? (inner: lane < 8 ? 1 : 2) : 3, plus 10 after
+    // full reconvergence (same kernel as test_divergence_patterns).
+    const char *src = R"(
+S2R R0, LANEID
+ISETP.LT P0, R0, 16
+BSSY B0, outerJoin
+@!P0 BRA elseOuter
+ISETP.LT P1, R0, 8
+BSSY B1, innerJoin
+@!P1 BRA elseInner
+MOV R2, 1
+BRA innerJoin
+elseInner:
+MOV R2, 2
+BRA innerJoin
+innerJoin:
+BSYNC B1
+BRA outerJoin
+elseOuter:
+MOV R2, 3
+BRA outerJoin
+outerJoin:
+BSYNC B0
+IADD R2, R2, 10
+SHL R1, R0, 2
+IADD R1, R1, 4096
+STG [R1+0], R2
+EXIT
+)";
+    expectLaneValues(src, [](unsigned lane) -> std::uint32_t {
+        if (lane < 8)
+            return 11;
+        if (lane < 16)
+            return 12;
+        return 13;
+    });
+}
+
+TEST(RefInterp, FourWaySwitch)
+{
+    const char *src = R"(
+S2R R0, LANEID
+SHR R3, R0, 3
+BSSY B0, join
+ISETP.GT P0, R3, 1
+@P0 BRA hi
+ISETP.EQ P1, R3, 0
+@P1 BRA case0
+MOV R2, 200
+BRA join
+case0:
+MOV R2, 100
+BRA join
+hi:
+ISETP.EQ P1, R3, 2
+@P1 BRA case2
+MOV R2, 400
+BRA join
+case2:
+MOV R2, 300
+BRA join
+join:
+BSYNC B0
+SHL R1, R0, 2
+IADD R1, R1, 4096
+STG [R1+0], R2
+EXIT
+)";
+    expectLaneValues(src, [](unsigned lane) -> std::uint32_t {
+        return 100 * (lane / 8) + 100;
+    });
+}
+
+TEST(RefInterp, DivergentLoopTripCounts)
+{
+    // Each lane loops (lane % 4) + 1 times with no barrier: subwarps
+    // drift across the back edge and retire at different times.
+    const char *src = R"(
+S2R R0, LANEID
+AND R3, R0, 3
+IADD R3, R3, 1
+MOV R2, 0
+loop:
+IADD R2, R2, 5
+IADD R3, R3, -1
+ISETP.GT P0, R3, 0
+@P0 BRA loop
+SHL R1, R0, 2
+IADD R1, R1, 4096
+STG [R1+0], R2
+EXIT
+)";
+    expectLaneValues(src, [](unsigned lane) -> std::uint32_t {
+        return 5 * ((lane % 4) + 1);
+    });
+}
+
+TEST(RefInterp, DivergenceWithLoadsInsideLoop)
+{
+    // Barrier reuse across three loop iterations; loads complete
+    // immediately in the reference, so only the count survives.
+    const char *src = R"(
+S2R R0, LANEID
+S2R R4, TID
+SHL R5, R4, 8
+MOV R6, 0x100000
+IADD R5, R5, R6
+MOV R3, 3
+MOV R2, 0
+loop:
+ISETP.LT P0, R0, 16
+BSSY B0, join
+@P0 BRA sideB
+LDG R7, [R5+0] &wr=sb0
+IADD R2, R2, 1 &req=sb0
+BRA join
+sideB:
+LDG R7, [R5+64] &wr=sb1
+IADD R2, R2, 2 &req=sb1
+BRA join
+join:
+BSYNC B0
+IADD R5, R5, 128
+IADD R3, R3, -1
+ISETP.GT P1, R3, 0
+@P1 BRA loop
+SHL R1, R0, 2
+IADD R1, R1, 4096
+STG [R1+0], R2
+EXIT
+)";
+    expectLaneValues(src, [](unsigned lane) -> std::uint32_t {
+        return lane < 16 ? 6 : 3;
+    });
+}
+
+TEST(RefInterp, Fig9KernelPerLaneResults)
+{
+    // The Figure 9/10 walkthrough kernel (store variant): lanes < 16
+    // take the TEX path and keep texel + 0; lanes >= 16 take the TLD
+    // path and multiply the texel by R5*2.0 = 0.0. Texels are planted
+    // per lane so the TEX-path result is a known nonzero float.
+    const char *src = R"(
+.kernel fig9_store
+.regs 24
+    S2R R0, LANEID
+    S2R R8, TID
+    SHL R9, R8, 8
+    ISETP.LT P0, R0, 16
+    BSSY B0, syncPoint
+    @P0 BRA Else
+    TLD R2, R0, R9 &wr=sb5
+    FMUL R10, R5, 2.0
+    FMUL R2, R2, R10 &req=sb5
+    BRA syncPoint
+Else:
+    TEX R2, R8, R9 &wr=sb2
+    FADD R2, R2, R3 &req=sb2
+    BRA syncPoint
+syncPoint:
+    BSYNC B0
+    SHL R1, R0, 2
+    IADD R1, R1, 4096
+    STG [R1+0], R2
+    EXIT
+)";
+    Memory mem;
+    for (unsigned lane = 0; lane < warpSize; ++lane) {
+        const float v = 1.5f + float(lane);
+        std::uint32_t bits;
+        std::memcpy(&bits, &v, 4);
+        // TEX path coordinates: u = tid, v = tid << 8.
+        mem.write(texelAddress(lane, lane << 8), bits);
+    }
+    const RefResult r = runRef(src, mem);
+    ASSERT_TRUE(r.ok) << r.error;
+    for (unsigned lane = 0; lane < warpSize; ++lane) {
+        const float want = lane < 16 ? 1.5f + float(lane) : 0.0f;
+        EXPECT_EQ(mem.readF(out + 4 * lane), want) << "lane " << lane;
+    }
+}
+
+TEST(RefInterp, AluCornerCases)
+{
+    // FRCP of zero is guarded to zero; F2I saturates (CUDA cvt
+    // semantics); SEL picks per the predicate.
+    const char *src = R"(
+MOV R2, 0.0
+FRCP R3, R2
+MOV R1, 4096
+STG [R1+0], R3
+MOV R4, 1e30
+F2I R5, R4
+STG [R1+4], R5
+MOV R6, 7
+MOV R7, 9
+ISETP.LT P0, R6, R7
+SEL R8, R6, R7, P0
+STG [R1+8], R8
+EXIT
+)";
+    Memory mem;
+    const RefResult r = runRef(src, mem);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(mem.read(out), 0u);
+    EXPECT_EQ(std::int32_t(mem.read(out + 4)), INT32_MAX);
+    EXPECT_EQ(mem.read(out + 8), 7u);
+}
+
+TEST(RefInterp, TidAndCtaidAcrossWarps)
+{
+    // tid = logicalId*32 + lane, ctaId = logicalId / warpsPerCta.
+    const char *src = R"(
+S2R R0, TID
+S2R R2, CTAID
+SHL R1, R0, 2
+IADD R1, R1, 4096
+STG [R1+0], R2
+EXIT
+)";
+    Memory mem;
+    const RefResult r = runRef(src, mem, 4, 2);
+    ASSERT_TRUE(r.ok) << r.error;
+    ASSERT_EQ(r.warps.size(), 4u);
+    for (unsigned w = 0; w < 4; ++w) {
+        for (unsigned lane = 0; lane < warpSize; ++lane) {
+            EXPECT_EQ(r.warps[w].reg(lane, 0), w * 32 + lane);
+            EXPECT_EQ(mem.read(out + 4 * (w * 32 + lane)), w / 2);
+        }
+    }
+}
+
+TEST(RefInterp, RetirementTraceShape)
+{
+    // A predicated-off op still retires for its active lanes, flagged
+    // as not-executed — exactly what the cycle model's issue hook
+    // reports.
+    const char *src = R"(
+S2R R0, LANEID
+ISETP.LT P0, R0, 8
+@P0 MOV R2, 1
+EXIT
+)";
+    Memory mem;
+    const RefResult r = runRef(src, mem);
+    ASSERT_TRUE(r.ok) << r.error;
+    const RefWarpResult &w = r.warps[0];
+    for (unsigned lane = 0; lane < warpSize; ++lane) {
+        const auto &t = w.trace[lane];
+        ASSERT_EQ(t.size(), 4u) << "lane " << lane;
+        for (unsigned pc = 0; pc < 4; ++pc)
+            EXPECT_EQ(t[pc].pc, pc);
+        EXPECT_TRUE(t[0].executed);
+        EXPECT_TRUE(t[1].executed);
+        EXPECT_EQ(t[2].executed, lane < 8);
+        EXPECT_TRUE(t[3].executed);
+    }
+}
+
+TEST(RefInterp, CrossedBarriersDeadlock)
+{
+    // Both halves register in B0 and B1, then each half waits on a
+    // different barrier: every live lane blocks and nothing can arrive.
+    const char *src = R"(
+S2R R0, LANEID
+BSSY B0, endA
+BSSY B1, endB
+ISETP.LT P0, R0, 16
+@!P0 BRA other
+endA:
+BSYNC B0
+BRA done
+other:
+endB:
+BSYNC B1
+done:
+EXIT
+)";
+    Memory mem;
+    const RefResult r = runRef(src, mem);
+    EXPECT_FALSE(r.ok);
+    EXPECT_TRUE(r.deadlock) << r.error;
+}
+
+TEST(RefInterp, StepLimitAborts)
+{
+    // An infinite uniform loop must hit the step limit, not hang.
+    const char *src = R"(
+top:
+BRA top
+EXIT
+)";
+    const Program p = assembleOrDie(src);
+    Memory mem;
+    const RefResult r = interpret(p, mem, RefLaunch{1, 1}, nullptr, 1000);
+    EXPECT_FALSE(r.ok);
+    EXPECT_FALSE(r.deadlock);
+}

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * difftest — differential-testing oracle for the cycle-level model.
+ *
+ * Generates seeded random divergent kernels, executes each through the
+ * functional reference interpreter AND the cycle model in every matrix
+ * configuration (SI on/off x {2,4,8} warp slots), and fails on any
+ * architectural divergence: final memory, registers, predicates, or
+ * per-lane retirement traces.
+ *
+ *   difftest [options]
+ *
+ * Options:
+ *   --seeds N          number of consecutive seeds to test (default 64)
+ *   --seed S           first seed (default 1); with --seeds 1 tests just S
+ *   --shrink           on failure, greedily shrink the failing kernel
+ *   --inject K         K = scoreboard|dropwb|barrier: inject that fault
+ *                      into every cycle-model run. Barrier-mask
+ *                      corruption is architectural, so every *fired*
+ *                      fault must make the oracle disagree (exit 1 on
+ *                      any escape). Scoreboard faults only perturb
+ *                      timing — values transfer at issue — so a fired
+ *                      fault can be architecturally invisible; those
+ *                      modes only require that at least one fault is
+ *                      detected.
+ *   --dump             print each generated kernel before testing
+ *   -v                 per-seed progress output
+ *
+ * Exit status: 0 = all seeds agree (or, with --inject, every fired fault
+ * was detected); 1 = a divergence (or an undetected injected fault).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/log.hh"
+#include "ref/difftest.hh"
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: difftest [--seeds N] [--seed S] [--shrink]\n"
+                 "                [--inject scoreboard|dropwb|barrier] "
+                 "[--dump] [-v]\n");
+}
+
+bool
+parseU64(const char *s, std::uint64_t &out)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s, &end, 0);
+    if (end == s || *end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    si::verboseLogging = false;
+
+    std::uint64_t num_seeds = 64;
+    std::uint64_t first_seed = 1;
+    bool shrink = false;
+    bool dump = false;
+    bool verbose = false;
+    si::DiffOptions opts;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--seeds") {
+            const char *v = next();
+            if (!v || !parseU64(v, num_seeds) || num_seeds == 0) {
+                usage();
+                return 1;
+            }
+        } else if (arg == "--seed") {
+            const char *v = next();
+            if (!v || !parseU64(v, first_seed)) {
+                usage();
+                return 1;
+            }
+        } else if (arg == "--shrink") {
+            shrink = true;
+        } else if (arg == "--dump") {
+            dump = true;
+        } else if (arg == "-v") {
+            verbose = true;
+        } else if (arg == "--inject") {
+            const char *v = next();
+            if (!v) {
+                usage();
+                return 1;
+            }
+            opts.inject = true;
+            if (std::strcmp(v, "scoreboard") == 0) {
+                opts.injectKind = si::FaultKind::ScoreboardCorruption;
+            } else if (std::strcmp(v, "dropwb") == 0) {
+                opts.injectKind = si::FaultKind::DroppedWriteback;
+            } else if (std::strcmp(v, "barrier") == 0) {
+                opts.injectKind = si::FaultKind::BarrierMaskCorruption;
+            } else {
+                usage();
+                return 1;
+            }
+        } else {
+            usage();
+            return 1;
+        }
+    }
+
+    unsigned failures = 0;
+    unsigned fired = 0;
+    unsigned escaped_ok = 0;
+    for (std::uint64_t s = first_seed; s < first_seed + num_seeds; ++s) {
+        const si::Program prog = si::generateKernel(s);
+        if (dump) {
+            std::printf("---- seed %llu ----\n%s",
+                        (unsigned long long)s,
+                        prog.sourceText().c_str());
+        }
+        const si::DiffResult r = si::diffProgram(prog, opts);
+
+        bool bad;
+        if (opts.inject) {
+            // A fired fault that still agrees escaped the oracle; an
+            // unfired fault (kernel never reached an injectable state)
+            // proves nothing. Escapes only fail the run for the
+            // architectural fault kind (see header comment).
+            if (r.faultFired)
+                ++fired;
+            bad = r.faultFired && r.agree &&
+                  opts.injectKind == si::FaultKind::BarrierMaskCorruption;
+            if (r.faultFired && r.agree && !bad)
+                ++escaped_ok;
+        } else {
+            bad = !r.agree;
+        }
+
+        if (verbose || bad) {
+            std::printf("seed %llu: %s%s\n", (unsigned long long)s,
+                        r.agree ? "agree" : "DIVERGED",
+                        r.faultFired ? " [fault fired]" : "");
+            if (!r.agree) {
+                std::printf("  point:  %s\n  detail: %s\n",
+                            r.point.c_str(), r.detail.c_str());
+            }
+        }
+        if (!bad)
+            continue;
+        ++failures;
+
+        if (opts.inject) {
+            std::printf("seed %llu: injected fault FIRED but the oracle "
+                        "still agrees — detection gap\n",
+                        (unsigned long long)s);
+        }
+        std::printf("%s", prog.sourceText().c_str());
+
+        if (shrink && !opts.inject) {
+            const si::DiffOptions sopts = opts;
+            const si::Program small = si::shrinkProgram(
+                prog, [&](const si::Program &p) {
+                    return !si::diffProgram(p, sopts).agree;
+                });
+            std::printf("shrunk to %u instructions:\n%s",
+                        small.size(), small.sourceText().c_str());
+        }
+    }
+
+    if (opts.inject) {
+        const unsigned detected = fired - escaped_ok - failures;
+        std::printf("difftest: %llu seeds, %u faults fired, %u detected, "
+                    "%u architecturally silent, %u escaped detection\n",
+                    (unsigned long long)num_seeds, fired, detected,
+                    escaped_ok, failures);
+        if (fired == 0) {
+            std::printf("difftest: no injected fault ever fired — "
+                        "treating as failure\n");
+            return 1;
+        }
+        if (detected == 0) {
+            std::printf("difftest: no injected fault was ever detected — "
+                        "treating as failure\n");
+            return 1;
+        }
+    } else {
+        std::printf("difftest: %llu seeds, %u divergences\n",
+                    (unsigned long long)num_seeds, failures);
+    }
+    return failures == 0 ? 0 : 1;
+}
