@@ -48,8 +48,8 @@ main()
             for (unsigned i = 0; i < 256; ++i) {
                 si::TraversalStats ts;
                 scene->bvh.trace(
-                    scene->primaryRay((i % 16 + 0.5f) / 16.0f,
-                                      (i / 16 + 0.5f) / 16.0f),
+                    scene->primaryRay((float(i % 16) + 0.5f) / 16.0f,
+                                      (float(i / 16) + 0.5f) / 16.0f),
                     &ts);
                 nodes += ts.nodesVisited;
                 ++probes;

@@ -57,7 +57,8 @@ struct GpuResult
     exposedStallFraction() const
     {
         const std::uint64_t norm = smCycleSum();
-        return norm ? double(total.exposedLoadStallCycles) / norm : 0;
+        return norm ? double(total.exposedLoadStallCycles) / double(norm)
+                    : 0;
     }
 
     /** Divergent exposed stalls normalized to kernel time (Fig. 3). */
@@ -65,9 +66,9 @@ struct GpuResult
     divergentStallFraction() const
     {
         const std::uint64_t norm = smCycleSum();
-        return norm
-                   ? double(total.exposedLoadStallCyclesDivergent) / norm
-                   : 0;
+        return norm ? double(total.exposedLoadStallCyclesDivergent) /
+                          double(norm)
+                    : 0;
     }
 };
 

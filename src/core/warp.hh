@@ -97,9 +97,9 @@ class Warp
         if (p == predNone)
             return;
         if (v)
-            preds_[lane] |= (1u << p);
+            preds_[lane] |= std::uint8_t(1u << p);
         else
-            preds_[lane] &= ~(1u << p);
+            preds_[lane] &= std::uint8_t(~(1u << p));
     }
 
     // ---- thread status (Figure 7 state machine data) ----

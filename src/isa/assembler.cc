@@ -182,6 +182,7 @@ assemble(const std::string &source)
 {
     AsmResult res;
     std::vector<Instr> instrs;
+    std::vector<std::uint32_t> lines;
     std::map<std::string, std::uint32_t> labels;
     std::vector<Fixup> fixups;
     std::string kernel_name = "asm_kernel";
@@ -488,6 +489,7 @@ assemble(const std::string &source)
         if (bad)
             return fail(line_no, "malformed operands for " + mnem);
         instrs.push_back(ins);
+        lines.push_back(std::uint32_t(line_no));
     }
 
     for (const auto &f : fixups) {
@@ -499,6 +501,7 @@ assemble(const std::string &source)
 
     Program prog(kernel_name, std::move(instrs), num_regs);
     prog.setLabels(std::move(labels));
+    prog.setSourceLines(std::move(lines));
     std::string err = prog.check();
     if (!err.empty()) {
         res.ok = false;

@@ -20,6 +20,12 @@ Program::setLabels(std::map<std::string, std::uint32_t> labels)
     labels_ = std::move(labels);
 }
 
+void
+Program::setSourceLines(std::vector<std::uint32_t> lines)
+{
+    srcLines_ = std::move(lines);
+}
+
 std::string
 Program::check() const
 {
@@ -296,6 +302,8 @@ Program::withoutInstr(std::uint32_t pc) const
             in.target -= 1;
         }
         out.instrs_.push_back(in);
+        if (i < srcLines_.size())
+            out.srcLines_.push_back(srcLines_[i]);
     }
     for (const auto &[name, lpc] : labels_) {
         if (lpc > pc && lpc - 1 <= out.instrs_.size())

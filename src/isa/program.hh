@@ -56,6 +56,20 @@ class Program
     }
 
     /**
+     * Optional pc -> source-line map recorded by the text assembler so
+     * the static verifier (src/verify) can report file:line diagnostics.
+     * Programs built programmatically have no line info.
+     */
+    void setSourceLines(std::vector<std::uint32_t> lines);
+
+    /** 1-based source line of @p pc, or 0 when unknown. */
+    std::uint32_t
+    sourceLine(std::uint32_t pc) const
+    {
+        return pc < srcLines_.size() ? srcLines_[pc] : 0;
+    }
+
+    /**
      * Structural validation: branch targets in range, register indices
      * within numRegs, BSSY/BSYNC barrier indices valid, terminating EXIT
      * reachable. Throws SimError(ErrorKind::Parse) on violation, which
@@ -91,6 +105,7 @@ class Program
     unsigned numRegs_ = 32;
     Addr baseAddr_ = 0x10000000;
     std::map<std::string, std::uint32_t> labels_;
+    std::vector<std::uint32_t> srcLines_;
 };
 
 } // namespace si

@@ -55,13 +55,70 @@ class Generator
 
   private:
     // ---- scoreboard bookkeeping -----------------------------------------
+    //
+    // Mirrors the static verifier's may-analysis (verify/verifier.cc) so
+    // generated kernels carry no scoreboard-discipline diagnostics:
+    // sbMayPending_ has a bit set while some path holds an outstanding
+    // &wr on that scoreboard, sbMayWritten_ once any path has written
+    // it. Divergent arms snapshot/restore/union the state exactly like
+    // the verifier joins block states.
 
-    SbIndex
-    nextSb()
+    struct SbState
     {
-        const SbIndex sb = SbIndex(sbCursor_ % opts_.numScoreboards);
+        std::uint8_t mayPending = 0;
+        std::uint8_t mayWritten = 0;
+        SbIndex pendingSb[numLdRegs] = {sbNone, sbNone, sbNone, sbNone};
+    };
+
+    /** Union-join for reconvergence points (both arms may have run). */
+    static SbState
+    joinSb(const SbState &a, const SbState &b)
+    {
+        SbState out;
+        out.mayPending = a.mayPending | b.mayPending;
+        out.mayWritten = a.mayWritten | b.mayWritten;
+        for (unsigned s = 0; s < numLdRegs; ++s) {
+            out.pendingSb[s] = a.pendingSb[s] != sbNone ? a.pendingSb[s]
+                                                        : b.pendingSb[s];
+        }
+        return out;
+    }
+
+    /**
+     * Pick a scoreboard for a new long-latency write and annotate
+     * @p in. Prefers a scoreboard with no write in flight on any path;
+     * when every one is busy the pick carries a self-&req (the req
+     * drains the previous producer before this write increments, so
+     * the two never alias one counter). Inside a loop body every pick
+     * self-reqs: the back edge can carry this very region's writes
+     * back to its own top, where a "free" scoreboard is anything but.
+     */
+    void
+    attachWr(Instr &in, unsigned slot)
+    {
+        const unsigned n = opts_.numScoreboards;
+        SbIndex sb = sbNone;
+        for (unsigned i = 0; i < n; ++i) {
+            const SbIndex cand = SbIndex((sbCursor_ + i) % n);
+            if (!(sb_.mayPending & (1u << cand))) {
+                sb = cand;
+                break;
+            }
+        }
+        const bool busy = sb == sbNone;
+        if (busy)
+            sb = SbIndex(sbCursor_ % n);
         ++sbCursor_;
-        return sb;
+
+        in.wr(sb);
+        // A self-req on a never-written scoreboard is a no-op wait the
+        // verifier flags; inside a loop the write reaches its own top
+        // along the back edge, so there it is (at most) partial.
+        if (busy || loopDepth_ > 0)
+            in.req(sb);
+        sb_.mayPending |= std::uint8_t(1u << sb);
+        sb_.mayWritten |= std::uint8_t(1u << sb);
+        sb_.pendingSb[slot] = sb;
     }
 
     /** &req annotation for a consumer of load destination @p slot, with a
@@ -69,13 +126,16 @@ class Generator
     void
     reqPending(Instr &in, unsigned slot)
     {
-        if (pendingSb_[slot] != sbNone)
-            in.req(pendingSb_[slot]);
-        if (rng_.chance(0.3f)) {
-            const unsigned other = unsigned(rng_.below(numLdRegs));
-            if (pendingSb_[other] != sbNone)
-                in.req(pendingSb_[other]);
-        }
+        auto req_slot = [&](unsigned s) {
+            const SbIndex sb = sb_.pendingSb[s];
+            if (sb == sbNone)
+                return;
+            in.req(sb);
+            sb_.mayPending &= std::uint8_t(~(1u << sb));
+        };
+        req_slot(slot);
+        if (rng_.chance(0.3f))
+            req_slot(unsigned(rng_.below(numLdRegs)));
     }
 
     /** Sometimes predicate an ALU op with an already-written predicate. */
@@ -114,8 +174,11 @@ class Generator
         for (unsigned slot = 0; slot < numLdRegs; ++slot) {
             Instr &in =
                 kb_.xorr(rIacc, rIacc, RegIndex(rLd0 + slot));
-            if (pendingSb_[slot] != sbNone)
-                in.req(pendingSb_[slot]);
+            const SbIndex sb = sb_.pendingSb[slot];
+            if (sb != sbNone) {
+                in.req(sb);
+                sb_.mayPending &= std::uint8_t(~(1u << sb));
+            }
         }
         store(rIacc);
         kb_.f2i(rS1, rFacc);
@@ -230,28 +293,27 @@ class Generator
     {
         const unsigned slot = unsigned(rng_.below(numLdRegs));
         const RegIndex dst = RegIndex(rLd0 + slot);
-        const SbIndex sb = nextSb();
         switch (rng_.below(3)) {
           case 0: // per-thread: input[tid & (words-1)]
             kb_.andi(rS0, rTid, std::int32_t(kgInputWords - 1));
             kb_.shli(rS0, rS0, 2);
             kb_.iadd(rAddr, rInBase, rS0);
-            kb_.ldg(dst, rAddr,
-                    std::int32_t(4 * rng_.below(8))).wr(sb);
+            attachWr(kb_.ldg(dst, rAddr,
+                             std::int32_t(4 * rng_.below(8))),
+                     slot);
             break;
           case 1: // broadcast: every lane reads the same word
-            kb_.ldg(dst, rInBase,
-                    std::int32_t(4 * rng_.below(kgInputWords - 8)))
-                .wr(sb);
+            attachWr(kb_.ldg(dst, rInBase,
+                             std::int32_t(4 * rng_.below(kgInputWords - 8))),
+                     slot);
             break;
           default: // data-dependent: input[iacc & (words-1)]
             kb_.andi(rS0, rIacc, std::int32_t(kgInputWords - 1));
             kb_.shli(rS0, rS0, 2);
             kb_.iadd(rAddr, rInBase, rS0);
-            kb_.ldg(dst, rAddr, 0).wr(sb);
+            attachWr(kb_.ldg(dst, rAddr, 0), slot);
             break;
         }
-        pendingSb_[slot] = sb;
     }
 
     /** TEX/TLD with u/v masked into the initialized texel window. */
@@ -260,14 +322,12 @@ class Generator
     {
         const unsigned slot = unsigned(rng_.below(numLdRegs));
         const RegIndex dst = RegIndex(rLd0 + slot);
-        const SbIndex sb = nextSb();
         kb_.andi(rU, rng_.chance(0.5f) ? rTid : rIacc, 15);
         kb_.andi(rV, rng_.chance(0.5f) ? rLane : rIacc, 255);
         if (rng_.chance(0.5f))
-            kb_.tex(dst, rU, rV).wr(sb);
+            attachWr(kb_.tex(dst, rU, rV), slot);
         else
-            kb_.tld(dst, rU, rV).wr(sb);
-        pendingSb_[slot] = sb;
+            attachWr(kb_.tld(dst, rU, rV), slot);
     }
 
     /** STG to this thread's private slot for the next store site. */
@@ -338,13 +398,20 @@ class Generator
         kb_.bssy(bar, l_conv);
         kb_.bra(l_else).pred(p, true);
 
+        // Scoreboard state forks with control flow: the else arm starts
+        // from the branch-point state (the then arm's writes are not on
+        // its paths), and the reconvergence point sees the union.
+        const SbState at_branch = sb_;
         ++depth_, ++ifDepth_;
         block(); // then
+        const SbState at_then_end = sb_;
         kb_.bra(l_conv);
         kb_.bind(l_else);
+        sb_ = at_branch;
         if (rng_.chance(0.8f))
             block(); // else (sometimes empty)
         --depth_, --ifDepth_;
+        sb_ = joinSb(at_then_end, sb_);
 
         kb_.bind(l_conv);
         kb_.bsync(bar);
@@ -401,9 +468,11 @@ class Generator
         predWritten_ |= 1u << p;
         Label l_skip = kb_.newLabel();
         kb_.bra(l_skip).pred(p, false);
+        const SbState at_branch = sb_;
         alu();
         if (rng_.chance(0.5f))
             alu();
+        sb_ = joinSb(at_branch, sb_);
         kb_.bind(l_skip);
     }
 
@@ -428,7 +497,7 @@ class Generator
     unsigned storeSite_ = 0;
     unsigned sbCursor_ = 0;
     std::uint32_t predWritten_ = 0;
-    SbIndex pendingSb_[numLdRegs] = {sbNone, sbNone, sbNone, sbNone};
+    SbState sb_;
 };
 
 } // namespace

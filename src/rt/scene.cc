@@ -95,11 +95,13 @@ buildTerrain(Scene &scene, Rng &rng)
         for (unsigned i = 0; i < grid; ++i) {
             const std::uint32_t mat = std::uint32_t(
                 (i / 3 + j / 3) % cfg.numMaterials);
-            const Vec3 a{i * cell, h_at(i, j), j * cell};
-            const Vec3 b{(i + 1) * cell, h_at(i + 1, j), j * cell};
-            const Vec3 c{(i + 1) * cell, h_at(i + 1, j + 1),
-                         (j + 1) * cell};
-            const Vec3 d{i * cell, h_at(i, j + 1), (j + 1) * cell};
+            const float fi = float(i);
+            const float fj = float(j);
+            const Vec3 a{fi * cell, h_at(i, j), fj * cell};
+            const Vec3 b{(fi + 1) * cell, h_at(i + 1, j), fj * cell};
+            const Vec3 c{(fi + 1) * cell, h_at(i + 1, j + 1),
+                         (fj + 1) * cell};
+            const Vec3 d{fi * cell, h_at(i, j + 1), (fj + 1) * cell};
             tris.push_back({a, b, c, mat});
             tris.push_back({a, c, d, mat});
         }
@@ -145,9 +147,12 @@ buildCity(Scene &scene, Rng &rng)
             const float inset = cell * rng.uniform(0.05f, 0.2f);
             const std::uint32_t mat =
                 std::uint32_t(rng.below(cfg.numMaterials));
+            const float fi = float(i);
+            const float fj = float(j);
             addBox(tris,
-                   {i * cell + inset, 0, j * cell + inset},
-                   {(i + 1) * cell - inset, h, (j + 1) * cell - inset},
+                   {fi * cell + inset, 0, fj * cell + inset},
+                   {(fi + 1) * cell - inset, h,
+                    (fj + 1) * cell - inset},
                    mat);
         }
     }

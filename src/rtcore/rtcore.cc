@@ -36,7 +36,8 @@ RtCore::query(Cycle now, ThreadMask mask,
                                  pipeBusyUntil_.end());
     const Cycle start = std::max(now, *pipe);
     const Cycle service =
-        config_.baseLatency + Cycle(config_.cyclesPerNode * max_nodes);
+        config_.baseLatency +
+        Cycle(config_.cyclesPerNode * float(max_nodes));
     *pipe = start + service;
     result.latency = (start + service) - now;
     return result;

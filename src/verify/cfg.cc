@@ -1,0 +1,230 @@
+#include "verify/cfg.hh"
+
+#include <algorithm>
+
+namespace si {
+
+namespace {
+
+/** Successor pcs of the instruction at @p pc (per the header's model). */
+void
+instrSuccessors(const Program &prog, std::uint32_t pc,
+                std::vector<std::uint32_t> &out)
+{
+    out.clear();
+    const Instr &in = prog.at(pc);
+    const std::uint32_t next = pc + 1;
+    switch (in.op) {
+      case Opcode::BRA:
+        out.push_back(in.target);
+        if (in.guard != predNone && next < prog.size())
+            out.push_back(next);
+        break;
+      case Opcode::EXIT:
+        if (in.guard != predNone && next < prog.size())
+            out.push_back(next);
+        break;
+      default:
+        if (next < prog.size())
+            out.push_back(next);
+        break;
+    }
+}
+
+} // namespace
+
+Cfg
+Cfg::build(const Program &program)
+{
+    Cfg cfg;
+    const std::uint32_t n = program.size();
+    if (n == 0)
+        return cfg;
+
+    // Leaders: entry, every branch/convergence target, and every
+    // instruction following a control transfer (so a block's control
+    // instruction is always its last).
+    std::vector<bool> leader(n, false);
+    leader[0] = true;
+    for (std::uint32_t pc = 0; pc < n; ++pc) {
+        const Instr &in = program.at(pc);
+        if (in.op == Opcode::BRA || in.op == Opcode::BSSY) {
+            if (in.target < n)
+                leader[in.target] = true;
+        }
+        if ((in.op == Opcode::BRA || in.op == Opcode::EXIT) && pc + 1 < n)
+            leader[pc + 1] = true;
+    }
+
+    cfg.blockOf_.assign(n, 0);
+    for (std::uint32_t pc = 0; pc < n; ++pc) {
+        if (leader[pc]) {
+            CfgBlock b;
+            b.first = pc;
+            cfg.blocks_.push_back(b);
+        }
+        cfg.blockOf_[pc] = std::uint32_t(cfg.blocks_.size() - 1);
+        cfg.blocks_.back().end = pc + 1;
+    }
+
+    std::vector<std::uint32_t> succ_pcs;
+    for (std::uint32_t id = 0; id < cfg.numBlocks(); ++id) {
+        CfgBlock &b = cfg.blocks_[id];
+        instrSuccessors(program, b.last(), succ_pcs);
+        for (std::uint32_t pc : succ_pcs) {
+            const std::uint32_t sid = cfg.blockOf_[pc];
+            if (std::find(b.succs.begin(), b.succs.end(), sid) ==
+                b.succs.end()) {
+                b.succs.push_back(sid);
+            }
+        }
+    }
+    for (std::uint32_t id = 0; id < cfg.numBlocks(); ++id) {
+        for (std::uint32_t s : cfg.blocks_[id].succs)
+            cfg.blocks_[s].preds.push_back(id);
+    }
+
+    // Reverse postorder via iterative DFS from the entry.
+    cfg.reachable_.assign(cfg.numBlocks(), false);
+    std::vector<std::uint32_t> postorder;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> stack;
+    cfg.reachable_[0] = true;
+    stack.push_back({0, 0});
+    while (!stack.empty()) {
+        auto &[id, next_succ] = stack.back();
+        const CfgBlock &b = cfg.blocks_[id];
+        if (next_succ < b.succs.size()) {
+            const std::uint32_t s = b.succs[next_succ++];
+            if (!cfg.reachable_[s]) {
+                cfg.reachable_[s] = true;
+                stack.push_back({s, 0});
+            }
+        } else {
+            postorder.push_back(id);
+            stack.pop_back();
+        }
+    }
+    cfg.rpo_.assign(postorder.rbegin(), postorder.rend());
+    return cfg;
+}
+
+std::vector<std::uint32_t>
+Cfg::immediateDominators() const
+{
+    const std::uint32_t invalid = numBlocks();
+    std::vector<std::uint32_t> idom(numBlocks(), invalid);
+    if (blocks_.empty())
+        return idom;
+
+    // rpo index per block, for the two-finger intersect.
+    std::vector<std::uint32_t> order(numBlocks(), invalid);
+    for (std::uint32_t i = 0; i < rpo_.size(); ++i)
+        order[rpo_[i]] = i;
+
+    auto intersect = [&](std::uint32_t a, std::uint32_t b) {
+        while (a != b) {
+            while (order[a] > order[b])
+                a = idom[a];
+            while (order[b] > order[a])
+                b = idom[b];
+        }
+        return a;
+    };
+
+    idom[0] = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::uint32_t id : rpo_) {
+            if (id == 0)
+                continue;
+            std::uint32_t new_idom = invalid;
+            for (std::uint32_t p : block(id).preds) {
+                if (idom[p] == invalid)
+                    continue; // not yet processed / unreachable
+                new_idom = new_idom == invalid ? p
+                                               : intersect(p, new_idom);
+            }
+            if (new_idom != invalid && idom[id] != new_idom) {
+                idom[id] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    return idom;
+}
+
+bool
+Cfg::dominates(std::uint32_t pcA, std::uint32_t pcB,
+               const std::vector<std::uint32_t> &idom) const
+{
+    const std::uint32_t a = blockOf_[pcA];
+    const std::uint32_t b = blockOf_[pcB];
+    if (a == b)
+        return pcA <= pcB;
+    // Walk b's dominator chain up to the entry.
+    std::uint32_t cur = b;
+    while (true) {
+        if (idom[cur] >= numBlocks())
+            return false; // unreachable block dominates nothing useful
+        if (idom[cur] == cur)
+            return cur == a; // entry
+        cur = idom[cur];
+        if (cur == a)
+            return true;
+    }
+}
+
+bool
+Cfg::reaches(std::uint32_t from, std::uint32_t to) const
+{
+    const std::uint32_t fb = blockOf_[from];
+    const std::uint32_t tb = blockOf_[to];
+    // Same block, strictly later in straight-line order.
+    if (fb == tb && from < to)
+        return true;
+    std::vector<bool> seen(numBlocks(), false);
+    std::vector<std::uint32_t> work = block(fb).succs;
+    while (!work.empty()) {
+        const std::uint32_t id = work.back();
+        work.pop_back();
+        if (seen[id])
+            continue;
+        seen[id] = true;
+        if (id == tb)
+            return true;
+        for (std::uint32_t s : block(id).succs)
+            work.push_back(s);
+    }
+    return false;
+}
+
+std::vector<bool>
+Cfg::canReachExit(const Program &program) const
+{
+    std::vector<bool> can(numBlocks(), false);
+    std::vector<std::uint32_t> work;
+    for (std::uint32_t id = 0; id < numBlocks(); ++id) {
+        for (std::uint32_t pc = blocks_[id].first; pc < blocks_[id].end;
+             ++pc) {
+            if (program.at(pc).op == Opcode::EXIT) {
+                can[id] = true;
+                work.push_back(id);
+                break;
+            }
+        }
+    }
+    while (!work.empty()) {
+        const std::uint32_t id = work.back();
+        work.pop_back();
+        for (std::uint32_t p : blocks_[id].preds) {
+            if (!can[p]) {
+                can[p] = true;
+                work.push_back(p);
+            }
+        }
+    }
+    return can;
+}
+
+} // namespace si

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/sim_error.hh"
 #include "isa/assembler.hh"
 
 using namespace si;
@@ -227,4 +228,93 @@ TEST(Assembler, DisasmReassemblesEquivalently)
         EXPECT_EQ(p1.at(pc).wrSb, p2.at(pc).wrSb) << "pc " << pc;
         EXPECT_EQ(p1.at(pc).reqSbMask, p2.at(pc).reqSbMask) << "pc " << pc;
     }
+}
+
+// ---- error paths: every malformed input is a structured failure ----------
+//
+// assemble() reports ok=false with a line-numbered message;
+// assembleOrDie() wraps the same failure in SimError(ErrorKind::Parse).
+// None of these may crash or abort.
+
+TEST(Assembler, ErrorMalformedWrAnnotation)
+{
+    EXPECT_NE(err(".kernel k\n LDG R1, [R2+0] &wr=\n EXIT\n")
+                  .find("bad annotation"),
+              std::string::npos);
+    EXPECT_NE(err(".kernel k\n LDG R1, [R2+0] &wr=sbx\n EXIT\n")
+                  .find("bad annotation"),
+              std::string::npos);
+    EXPECT_NE(err(".kernel k\n LDG R1, [R2+0] &wr=7\n EXIT\n")
+                  .find("bad annotation"),
+              std::string::npos);
+}
+
+TEST(Assembler, ErrorMalformedReqAnnotation)
+{
+    EXPECT_NE(err(".kernel k\n IADD R1, R1, 1 &req=\n EXIT\n")
+                  .find("bad annotation"),
+              std::string::npos);
+    EXPECT_NE(err(".kernel k\n IADD R1, R1, 1 &req=sb\n EXIT\n")
+                  .find("bad annotation"),
+              std::string::npos);
+}
+
+TEST(Assembler, ErrorScoreboardIndexOutOfRange)
+{
+    // Eight scoreboards: sb0..sb7. sb8/sb9 must be rejected at parse.
+    EXPECT_NE(err(".kernel k\n LDG R1, [R2+0] &wr=sb8\n EXIT\n")
+                  .find("bad annotation"),
+              std::string::npos);
+    EXPECT_NE(err(".kernel k\n IADD R1, R1, 1 &req=sb9\n EXIT\n")
+                  .find("bad annotation"),
+              std::string::npos);
+}
+
+TEST(Assembler, ErrorDanglingBranchLabel)
+{
+    const std::string msg =
+        err(".kernel k\n BRA nowhere\n EXIT\n");
+    EXPECT_NE(msg.find("undefined label"), std::string::npos);
+    EXPECT_NE(msg.find("nowhere"), std::string::npos);
+}
+
+TEST(Assembler, MalformedInputsThrowStructuredSimError)
+{
+    const char *bad[] = {
+        ".kernel k\n LDG R1, [R2+0] &wr=sb8\n EXIT\n",   // sb out of range
+        ".kernel k\n LDG R1, [R2+0] &wr=oops\n EXIT\n",  // malformed &wr=
+        ".kernel k\n IADD R1, R1, 1 &req=s5\n EXIT\n",   // malformed &req=
+        ".kernel k\n BRA nowhere\n EXIT\n",              // dangling label
+        ".kernel k\n FROB R1, R2\n EXIT\n",              // unknown mnemonic
+    };
+    for (const char *src : bad) {
+        try {
+            assembleOrDie(src);
+            FAIL() << "no exception for: " << src;
+        } catch (const SimError &e) {
+            EXPECT_EQ(e.kind(), ErrorKind::Parse) << src;
+            EXPECT_NE(std::string(e.what()).find("assembly failed"),
+                      std::string::npos);
+        } catch (...) {
+            FAIL() << "non-SimError exception for: " << src;
+        }
+    }
+}
+
+TEST(Assembler, RecordsSourceLineMap)
+{
+    // Line numbers are 1-based positions in the source text; comments
+    // and blanks shift them, which is the whole point of the map.
+    const Program p = ok(R"(
+.kernel lines
+; a comment line
+    S2R R0, TID
+
+    IADD R1, R0, 1
+    EXIT
+)");
+    ASSERT_EQ(p.size(), 3u);
+    EXPECT_EQ(p.sourceLine(0), 4u);
+    EXPECT_EQ(p.sourceLine(1), 6u);
+    EXPECT_EQ(p.sourceLine(2), 7u);
 }

@@ -110,8 +110,9 @@ EXIT
         const Instr &a = cut.at(pc);
         const Instr &b = prog.at(pc >= 1 ? pc + 1 : pc);
         EXPECT_EQ(a.op, b.op) << "pc " << pc;
-        if (a.op == Opcode::BRA || a.op == Opcode::BSSY)
+        if (a.op == Opcode::BRA || a.op == Opcode::BSSY) {
             EXPECT_EQ(a.target, b.target - 1) << "pc " << pc;
+        }
     }
     // Deleting an instruction a branch lands on retargets the branch to
     // the successor and still validates.

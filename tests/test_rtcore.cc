@@ -97,7 +97,7 @@ TEST(RtCore, ResetClearsPipesAndStats)
     const auto res = rt.query(0, ThreadMask::full(), rays);
     EXPECT_EQ(res.latency,
               cfg.baseLatency +
-                  Cycle(cfg.cyclesPerNode * res.maxNodesVisited));
+                  Cycle(cfg.cyclesPerNode * float(res.maxNodesVisited)));
 }
 
 TEST(RtCore, MissReturnsInvalidHit)

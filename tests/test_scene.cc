@@ -38,8 +38,8 @@ TEST_P(SceneLayoutTest, CameraSeesTheScene)
     const unsigned n = 16;
     for (unsigned y = 0; y < n; ++y) {
         for (unsigned x = 0; x < n; ++x) {
-            const Ray r = scene->primaryRay((x + 0.5f) / n,
-                                            (y + 0.5f) / n);
+            const Ray r = scene->primaryRay((float(x) + 0.5f) / float(n),
+                                            (float(y) + 0.5f) / float(n));
             if (scene->bvh.trace(r).valid)
                 ++hits;
         }

@@ -23,11 +23,18 @@
  *                      fault can be architecturally invisible; those
  *                      modes only require that at least one fault is
  *                      detected.
+ *   --verify           additionally run the static verifier (src/verify)
+ *                      over every generated kernel. Fails when the
+ *                      verifier finds errors OR warnings (the generator
+ *                      is supposed to emit spotless programs), and
+ *                      cross-checks the two oracles: any kernel the
+ *                      verifier blesses must also agree dynamically.
  *   --dump             print each generated kernel before testing
  *   -v                 per-seed progress output
  *
  * Exit status: 0 = all seeds agree (or, with --inject, every fired fault
- * was detected); 1 = a divergence (or an undetected injected fault).
+ * was detected); 1 = a divergence (or an undetected injected fault, or a
+ * --verify finding).
  */
 
 #include <cstdio>
@@ -36,6 +43,7 @@
 
 #include "common/log.hh"
 #include "ref/difftest.hh"
+#include "verify/verifier.hh"
 
 namespace {
 
@@ -45,7 +53,7 @@ usage()
     std::fprintf(stderr,
                  "usage: difftest [--seeds N] [--seed S] [--shrink]\n"
                  "                [--inject scoreboard|dropwb|barrier] "
-                 "[--dump] [-v]\n");
+                 "[--verify] [--dump] [-v]\n");
 }
 
 bool
@@ -69,6 +77,7 @@ main(int argc, char **argv)
     std::uint64_t num_seeds = 64;
     std::uint64_t first_seed = 1;
     bool shrink = false;
+    bool verify = false;
     bool dump = false;
     bool verbose = false;
     si::DiffOptions opts;
@@ -92,6 +101,8 @@ main(int argc, char **argv)
             }
         } else if (arg == "--shrink") {
             shrink = true;
+        } else if (arg == "--verify") {
+            verify = true;
         } else if (arg == "--dump") {
             dump = true;
         } else if (arg == "-v") {
@@ -118,10 +129,19 @@ main(int argc, char **argv)
             return 1;
         }
     }
+    if (verify && opts.inject) {
+        // Injected faults corrupt live machine state the static pass
+        // cannot see; combining the modes only muddles the accounting.
+        std::fprintf(stderr,
+                     "difftest: --verify and --inject are exclusive\n");
+        return 1;
+    }
 
     unsigned failures = 0;
     unsigned fired = 0;
     unsigned escaped_ok = 0;
+    unsigned lint_rejected = 0;
+    unsigned blessed_diverged = 0;
     for (std::uint64_t s = first_seed; s < first_seed + num_seeds; ++s) {
         const si::Program prog = si::generateKernel(s);
         if (dump) {
@@ -129,7 +149,33 @@ main(int argc, char **argv)
                         (unsigned long long)s,
                         prog.sourceText().c_str());
         }
+
+        bool blessed = true;
+        if (verify) {
+            const si::VerifyReport rep = si::verifyProgram(prog);
+            if (!rep.spotless()) {
+                // The generator promises spotless output; anything at
+                // error or warning severity is a bug on one side.
+                blessed = rep.clean();
+                ++lint_rejected;
+                ++failures;
+                std::printf("seed %llu: static verifier flagged the "
+                            "generated kernel:\n%s%s",
+                            (unsigned long long)s,
+                            rep.render(&prog).c_str(),
+                            prog.sourceText().c_str());
+            }
+        }
+
         const si::DiffResult r = si::diffProgram(prog, opts);
+        if (verify && blessed && !r.agree && !opts.inject) {
+            // The static/dynamic cross-check proper: a kernel the
+            // verifier blessed must run divergence-free.
+            ++blessed_diverged;
+            std::printf("seed %llu: verifier-blessed kernel diverged "
+                        "dynamically\n",
+                        (unsigned long long)s);
+        }
 
         bool bad;
         if (opts.inject) {
@@ -196,7 +242,13 @@ main(int argc, char **argv)
         }
     } else {
         std::printf("difftest: %llu seeds, %u divergences\n",
-                    (unsigned long long)num_seeds, failures);
+                    (unsigned long long)num_seeds,
+                    failures - lint_rejected);
+    }
+    if (verify) {
+        std::printf("difftest: verifier rejected %u kernels, "
+                    "%u blessed kernels diverged dynamically\n",
+                    lint_rejected, blessed_diverged);
     }
     return failures == 0 ? 0 : 1;
 }

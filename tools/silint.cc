@@ -1,0 +1,118 @@
+/**
+ * @file
+ * silint — static lint for SASS-like kernels: CFG + dataflow checks for
+ * scoreboard discipline and convergence-barrier pairing (src/verify).
+ *
+ *   silint [options] kernel.sasm...
+ *
+ * Options:
+ *   --Werror      exit nonzero on warnings, not just errors
+ *   --no-notes    suppress Note-severity diagnostics
+ *   --report      append a one-line per-file summary
+ *                 ("file: N errors, N warnings, N notes") — the format
+ *                 the CI golden file (tests/golden/silint_kernels.txt)
+ *                 records for every checked-in kernel
+ *   --quiet       print summaries/exit status only, not diagnostics
+ *
+ * Exit status: 0 = every file assembled and carries no error (nor
+ * warning under --Werror); 1 = some file has findings at the gating
+ * severity; 2 = file unreadable or failed to assemble.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "verify/verifier.hh"
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: silint [--Werror] [--no-notes] [--report] "
+                 "[--quiet] file.sasm...\n");
+}
+
+/** Strip directories: diagnostics and reports stay path-independent. */
+std::string
+baseName(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    si::verboseLogging = false;
+
+    bool werror = false;
+    bool report = false;
+    bool quiet = false;
+    si::VerifyOptions opts;
+    std::vector<std::string> files;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--Werror") {
+            werror = true;
+        } else if (arg == "--no-notes") {
+            opts.notes = false;
+        } else if (arg == "--report") {
+            report = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage();
+            return 2;
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (files.empty()) {
+        usage();
+        return 2;
+    }
+
+    bool gated = false;
+    bool broken = false;
+    for (const std::string &path : files) {
+        std::ifstream in(path);
+        if (!in) {
+            std::fprintf(stderr, "silint: cannot open %s\n", path.c_str());
+            broken = true;
+            continue;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+
+        const si::AsmResult asm_res = si::assemble(text.str());
+        if (!asm_res.ok) {
+            std::fprintf(stderr, "silint: %s: assembly failed: %s\n",
+                         baseName(path).c_str(), asm_res.error.c_str());
+            broken = true;
+            continue;
+        }
+
+        const si::VerifyReport rep =
+            si::verifyProgram(asm_res.program, opts);
+        if (!quiet) {
+            std::fputs(rep.render(&asm_res.program, baseName(path)).c_str(),
+                       stdout);
+        }
+        if (report) {
+            std::printf("%s: %u errors, %u warnings, %u notes\n",
+                        baseName(path).c_str(), rep.errors(),
+                        rep.warnings(), rep.notes());
+        }
+        gated |= !rep.clean() || (werror && rep.warnings() > 0);
+    }
+    return broken ? 2 : gated ? 1 : 0;
+}
