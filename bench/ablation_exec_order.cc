@@ -81,9 +81,10 @@ runSkewed(si::DivergeOrder order, bool si_on)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     si::verboseLogging = false;
+    si::bench::BenchJson bj("ablation_exec_order", argc, argv);
 
     // ---- experiment 1: the skewed kernel ----
     // The fall-through side of "@P0 BRA mathSide" carries the loads,
@@ -132,7 +133,12 @@ main()
             std::fprintf(stderr, "  [%s %s]\n", o.label, si::appName(id));
         }
         t2.row({o.label, si::TablePrinter::pct(si::mean(speedups))});
+        bj.metric(std::string("mean_speedup_pct/") + o.label,
+                  si::mean(speedups));
     }
     t2.print();
-    return 0;
+
+    bj.table(t1);
+    bj.table(t2);
+    return bj.finish() ? 0 : 1;
 }

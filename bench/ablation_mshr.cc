@@ -16,9 +16,10 @@
 #include "rt/microbench.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     si::verboseLogging = false;
+    si::bench::BenchJson bj("ablation_mshr", argc, argv);
 
     const std::vector<unsigned> budgets = {4, 8, 16, 32, 0 /*unlimited*/};
     auto label = [](unsigned b) {
@@ -67,7 +68,12 @@ main()
                          si::appName(id));
         }
         t2.row({label(b), si::TablePrinter::pct(si::mean(speedups))});
+        bj.metric("mean_speedup_pct/mshr_" + label(b),
+                  si::mean(speedups));
     }
     t2.print();
-    return 0;
+
+    bj.table(t1);
+    bj.table(t2);
+    return bj.finish() ? 0 : 1;
 }

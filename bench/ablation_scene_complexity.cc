@@ -14,9 +14,10 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     si::verboseLogging = false;
+    si::bench::BenchJson bj("ablation_scene_complexity", argc, argv);
 
     si::TablePrinter t("Ablation: scene complexity and BVH quality vs "
                        "SI benefit (BFV1 profile, lat=600)");
@@ -67,5 +68,7 @@ main()
         }
     }
     t.print();
-    return 0;
+
+    bj.table(t);
+    return bj.finish() ? 0 : 1;
 }

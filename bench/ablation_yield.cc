@@ -14,9 +14,10 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     si::verboseLogging = false;
+    si::bench::BenchJson bj("ablation_yield", argc, argv);
     const si::GpuConfig base = si::baselineConfig();
 
     si::TablePrinter t("Ablation: subwarp-yield threshold "
@@ -57,5 +58,11 @@ main()
         mean_row.push_back(si::TablePrinter::pct(si::mean(c)));
     t.row(mean_row);
     t.print();
-    return 0;
+
+    bj.table(t);
+    const char *labels[] = {"sos", "thr1", "thr2", "thr4"};
+    for (std::size_t i = 0; i < cols.size(); ++i)
+        bj.metric(std::string("mean_speedup_pct/") + labels[i],
+                  si::mean(cols[i]));
+    return bj.finish() ? 0 : 1;
 }

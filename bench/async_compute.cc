@@ -44,9 +44,10 @@ runCosched(const si::Workload &rt, const si::Workload &compute,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     si::verboseLogging = false;
+    si::bench::BenchJson bj("async_compute", argc, argv);
 
     si::TablePrinter t("Async compute: RT kernel co-scheduled with a "
                        "compute queue (lat=600)");
@@ -90,5 +91,9 @@ main()
                 "the frame); the slot-dependent DWS comparator trails "
                 "SI on\nthe shading-heavy traces because the compute "
                 "queue occupies the warp slots\nit would fork into.\n");
-    return 0;
+
+    bj.table(t);
+    bj.metric("mean_gain_pct/si", si::mean(si_gains));
+    bj.metric("mean_gain_pct/dws", si::mean(dws_gains));
+    return bj.finish() ? 0 : 1;
 }

@@ -8,15 +8,98 @@
 #define SI_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/json.hh"
 #include "common/log.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
 #include "rt/apps.hh"
 
 namespace si::bench {
+
+/**
+ * Machine-readable bench output ("si-bench-v1"). Every bench binary
+ * constructs one of these from argv, records each table it prints
+ * (table()) plus headline scalars (metric()), and ends with
+ * `return bj.finish() ? 0 : 1;`. Without --json FILE on the command
+ * line the recorder is inert and the binary behaves exactly as before.
+ * CI validates the document against tools/bench_schema.json.
+ */
+class BenchJson
+{
+  public:
+    BenchJson(std::string bench, int argc, char **argv)
+        : bench_(std::move(bench))
+    {
+        for (int i = 1; i < argc; ++i) {
+            const std::string a = argv[i];
+            if (a == "--json" && i + 1 < argc) {
+                path_ = argv[++i];
+            } else {
+                std::fprintf(stderr,
+                             "%s: unknown option '%s' "
+                             "(supported: --json FILE)\n",
+                             bench_.c_str(), a.c_str());
+                std::exit(1);
+            }
+        }
+    }
+
+    /** Record a printed table (serialized immediately). */
+    void table(const TablePrinter &t) { tables_.push_back(t.json()); }
+
+    /** Record a headline scalar, e.g. the figure's mean speedup. */
+    void
+    metric(const std::string &name, double value)
+    {
+        metrics_.emplace_back(name, value);
+    }
+
+    /** Write the document if --json was given. True on success. */
+    bool
+    finish() const
+    {
+        if (path_.empty())
+            return true;
+        json::Writer w;
+        w.beginObject();
+        w.key("schema").value("si-bench-v1");
+        w.key("bench").value(bench_);
+        w.key("tables").beginArray();
+        for (const auto &t : tables_)
+            w.raw(t);
+        w.endArray();
+        w.key("metrics").beginObject();
+        for (const auto &m : metrics_)
+            w.key(m.first).value(m.second);
+        w.endObject();
+        w.endObject();
+        const std::string doc = w.take();
+        if (path_ == "-") {
+            std::fwrite(doc.data(), 1, doc.size(), stdout);
+            return true;
+        }
+        std::ofstream f(path_, std::ios::binary);
+        if (!f) {
+            std::fprintf(stderr, "%s: cannot write '%s'\n",
+                         bench_.c_str(), path_.c_str());
+            return false;
+        }
+        f << doc;
+        return bool(f);
+    }
+
+  private:
+    std::string bench_;
+    std::string path_;
+    std::vector<std::string> tables_; ///< pre-serialized JSON objects
+    std::vector<std::pair<std::string, double>> metrics_;
+};
 
 /** Baseline + all six SI configurations for one workload. */
 struct AppSweep

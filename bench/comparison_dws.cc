@@ -38,9 +38,10 @@ meanSpeedup(const si::GpuConfig &base, const si::GpuConfig &test_cfg,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     si::verboseLogging = false;
+    si::bench::BenchJson bj("comparison_dws", argc, argv);
 
     si::TablePrinter t("SI vs Dynamic Warp Subdivision "
                        "(mean app speedup, lat=600)");
@@ -73,5 +74,7 @@ main()
         }
     }
     t.print();
-    return 0;
+
+    bj.table(t);
+    return bj.finish() ? 0 : 1;
 }

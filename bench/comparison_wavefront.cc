@@ -17,9 +17,10 @@
 #include "rt/wavefront.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     si::verboseLogging = false;
+    si::bench::BenchJson bj("comparison_wavefront", argc, argv);
 
     si::TablePrinter t("Megakernel vs megakernel+SI vs wavefront "
                        "(cycles, lat=600)");
@@ -109,5 +110,10 @@ main()
         std::fprintf(stderr, "[batch %u done]\n", warps * 32);
     }
     t2.print();
-    return 0;
+
+    bj.table(t);
+    bj.table(t2);
+    bj.metric("mean_speedup_pct/si", si::mean(si_gains));
+    bj.metric("mean_speedup_pct/wavefront", si::mean(wf_gains));
+    return bj.finish() ? 0 : 1;
 }

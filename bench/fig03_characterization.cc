@@ -12,9 +12,10 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     si::verboseLogging = false;
+    si::bench::BenchJson bj("fig03_characterization", argc, argv);
     const si::GpuConfig base = si::baselineConfig();
 
     si::TablePrinter t(
@@ -36,5 +37,9 @@ main()
     t.row({"mean", si::TablePrinter::pct(si::mean(totals)),
            si::TablePrinter::pct(si::mean(divergents))});
     t.print();
-    return 0;
+
+    bj.table(t);
+    bj.metric("mean_exposed_pct/total", si::mean(totals));
+    bj.metric("mean_exposed_pct/divergent", si::mean(divergents));
+    return bj.finish() ? 0 : 1;
 }

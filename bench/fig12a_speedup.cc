@@ -12,9 +12,10 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     si::verboseLogging = false;
+    si::bench::BenchJson bj("fig12a_speedup", argc, argv);
     const si::GpuConfig base = si::baselineConfig();
     const auto &points = si::siConfigPoints();
     const auto sweeps = si::bench::sweepAllApps(base);
@@ -46,5 +47,12 @@ main()
     mean_row.push_back(si::TablePrinter::pct(si::mean(best)));
     t.row(mean_row);
     t.print();
-    return 0;
+
+    bj.table(t);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        bj.metric(std::string("mean_speedup_pct/") + points[i].label,
+                  si::mean(cols[i]));
+    }
+    bj.metric("mean_speedup_pct/BestOf", si::mean(best));
+    return bj.finish() ? 0 : 1;
 }

@@ -13,9 +13,10 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     si::verboseLogging = false;
+    si::bench::BenchJson bj("fig12b_stall_reduction", argc, argv);
     const si::GpuConfig base = si::baselineConfig();
     const si::GpuConfig si_cfg = si::withSi(base, si::bestSiConfigPoint());
 
@@ -50,5 +51,9 @@ main()
     t.row({"mean", si::TablePrinter::pct(si::mean(totals)),
            si::TablePrinter::pct(si::mean(divergents))});
     t.print();
-    return 0;
+
+    bj.table(t);
+    bj.metric("mean_reduction_pct/total", si::mean(totals));
+    bj.metric("mean_reduction_pct/divergent", si::mean(divergents));
+    return bj.finish() ? 0 : 1;
 }

@@ -11,9 +11,10 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     si::verboseLogging = false;
+    si::bench::BenchJson bj("fig13_latency_sweep", argc, argv);
     const auto &points = si::siConfigPoints();
 
     si::TablePrinter t("Figure 13: average speedup vs L1 miss latency");
@@ -55,5 +56,12 @@ main()
         best_row.push_back(si::TablePrinter::pct(v));
     t.row(best_row);
     t.print();
-    return 0;
+
+    bj.table(t);
+    const unsigned lats[] = {300, 600, 900};
+    for (std::size_t i = 0; i < grid[points.size()].size(); ++i) {
+        bj.metric("bestof_speedup_pct/lat" + std::to_string(lats[i]),
+                  grid[points.size()][i]);
+    }
+    return bj.finish() ? 0 : 1;
 }

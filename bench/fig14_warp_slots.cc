@@ -13,9 +13,10 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     si::verboseLogging = false;
+    si::bench::BenchJson bj("fig14_warp_slots", argc, argv);
 
     si::TablePrinter t(
         "Figure 14: speedup vs equally-throttled baseline "
@@ -55,5 +56,10 @@ main()
            si::TablePrinter::pct(means[1]),
            si::TablePrinter::pct(means[2])});
     t.print();
-    return 0;
+
+    bj.table(t);
+    bj.metric("mean_speedup_pct/warps8", means[0]);
+    bj.metric("mean_speedup_pct/warps16", means[1]);
+    bj.metric("mean_speedup_pct/warps32", means[2]);
+    return bj.finish() ? 0 : 1;
 }

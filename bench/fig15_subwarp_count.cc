@@ -11,9 +11,10 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     si::verboseLogging = false;
+    si::bench::BenchJson bj("fig15_subwarp_count", argc, argv);
     const si::GpuConfig base = si::baselineConfig();
 
     si::TablePrinter t(
@@ -59,5 +60,11 @@ main()
                     100.0 * means[1] / means.back());
     }
     t.print();
-    return 0;
+
+    bj.table(t);
+    for (std::size_t i = 0; i < budgets.size(); ++i) {
+        bj.metric("mean_speedup_pct/tst" + std::to_string(budgets[i]),
+                  means[i]);
+    }
+    return bj.finish() ? 0 : 1;
 }

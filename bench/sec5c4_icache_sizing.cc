@@ -12,9 +12,10 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     si::verboseLogging = false;
+    si::bench::BenchJson bj("sec5c4_icache_sizing", argc, argv);
 
     si::TablePrinter t(
         "Section V-C-4: SI speedup vs instruction cache size "
@@ -61,5 +62,9 @@ main()
                     "the full-size configuration's mean speedup\n",
                     100.0 * means[1] / means[0]);
     }
-    return 0;
+
+    bj.table(t);
+    bj.metric("mean_speedup_pct/full_icache", means[0]);
+    bj.metric("mean_speedup_pct/small_icache", means[1]);
+    return bj.finish() ? 0 : 1;
 }

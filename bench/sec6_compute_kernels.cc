@@ -18,9 +18,10 @@
 #include "rt/compute.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     si::verboseLogging = false;
+    si::bench::BenchJson bj("sec6_compute_kernels", argc, argv);
     const si::GpuConfig base = si::baselineConfig();
     const si::GpuConfig si_cfg = si::withSi(base, si::bestSiConfigPoint());
 
@@ -70,5 +71,8 @@ main()
     frame_row("RT + 1x compute passes", 1);
     frame_row("RT + 4x compute passes", 4);
     t2.print();
-    return 0;
+
+    bj.table(t1);
+    bj.table(t2);
+    return bj.finish() ? 0 : 1;
 }

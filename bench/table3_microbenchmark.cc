@@ -14,9 +14,10 @@
 #include "rt/microbench.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     si::verboseLogging = false;
+    si::bench::BenchJson bj("table3_microbenchmark", argc, argv);
 
     si::GpuConfig base = si::baselineConfig();
     // SOS is sufficient for the microbenchmark; use the least
@@ -42,7 +43,12 @@ main()
                si::TablePrinter::num(speedup),
                std::to_string(rs.total.exposedFetchStallCycles)});
         std::fprintf(stderr, "  [ran d=%u]\n", si::divergenceFactor(mc));
+        bj.metric("speedup_x/divergence" +
+                      std::to_string(si::divergenceFactor(mc)),
+                  speedup);
     }
     t.print();
-    return 0;
+
+    bj.table(t);
+    return bj.finish() ? 0 : 1;
 }

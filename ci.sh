@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
-# CI entry point: build and test twice — a plain Release build, then an
-# AddressSanitizer + UBSan build (SI_SANITIZE, see the top CMakeLists).
+# CI entry point: build and test three times — a plain Release build, an
+# AddressSanitizer + UBSan build (SI_SANITIZE, see the top CMakeLists),
+# and a Release build with the trace tier compiled out (-DSI_TRACE=OFF)
+# to prove the observability layer costs nothing when disabled.
 # Each pass also runs the static kernel verifier (silint) over every
 # checked-in kernel against the golden report, and the 256-seed
 # differential sweep with static/dynamic cross-checking (--verify).
+# The Release pass additionally exercises the machine-readable
+# exporters: a bench --json run validated against the checked-in
+# si-bench-v1 schema, and a swprof trace + stall-report export.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -44,7 +49,32 @@ run() {
     "$dir/tools/difftest" --seeds 256 --verify
 }
 
+# Machine-readable exporters: run one bench with --json and validate it
+# against the checked-in schema; run swprof and check its exports parse.
+check_exports() {
+    local dir=$1
+    local art="$dir/artifacts"
+    mkdir -p "$art"
+    echo "=== bench --json $dir (si-bench-v1 schema check)"
+    "$dir/bench/fig12a_speedup" --json "$art/fig12a_speedup.json" \
+        > /dev/null
+    echo "=== swprof $dir (trace + stall report export)"
+    "$dir/tools/swprof" kernels/fig9.sasm --si \
+        --trace "$art/swprof_fig9_trace.json" \
+        --json "$art/swprof_fig9_stalls.json" > "$art/swprof_fig9.txt"
+    if command -v python3 >/dev/null 2>&1; then
+        python3 tools/check_bench_json.py tools/bench_schema.json \
+            "$art/fig12a_speedup.json"
+        python3 -m json.tool "$art/swprof_fig9_trace.json" > /dev/null
+        python3 -m json.tool "$art/swprof_fig9_stalls.json" > /dev/null
+    else
+        echo "=== python3 not installed; skipping the JSON schema gate"
+    fi
+}
+
 run build-release -DCMAKE_BUILD_TYPE=Release
+check_exports build-release
 run build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSI_SANITIZE=address,undefined
+run build-notrace -DCMAKE_BUILD_TYPE=Release -DSI_TRACE=OFF
 
 echo "=== ci.sh: all green"

@@ -17,6 +17,7 @@
 #include "core/gpu.hh"
 #include "harness/table.hh"
 #include "isa/assembler.hh"
+#include "trace/events.hh"
 
 namespace {
 
@@ -49,6 +50,24 @@ struct TraceLine
     unsigned lanes;
 };
 
+/** Collect the issue timeline through the TraceSink observer. */
+class TimelineSink : public si::TraceSink
+{
+  public:
+    explicit TimelineSink(std::vector<TraceLine> &trace) : trace_(trace) {}
+
+    void
+    record(const si::TraceEvent &ev) override
+    {
+        if (ev.kind != si::TraceEventKind::Issue)
+            return;
+        trace_.push_back({ev.cycle, ev.pc, si::ThreadMask(ev.mask).count()});
+    }
+
+  private:
+    std::vector<TraceLine> &trace_;
+};
+
 si::GpuResult
 runTraced(const si::Program &prog, bool si_on, bool yield,
           std::vector<TraceLine> &trace)
@@ -58,9 +77,8 @@ runTraced(const si::Program &prog, bool si_on, bool yield,
     cfg.siEnabled = si_on;
     cfg.yieldEnabled = yield;
     cfg.trigger = si::SelectTrigger::AllStalled;
-    cfg.issueHook = [&trace](const si::IssueEvent &ev) {
-        trace.push_back({ev.cycle, ev.pc, ev.activeMask.count()});
-    };
+    TimelineSink sink(trace);
+    cfg.traceSink = &sink;
     si::Memory mem;
     return si::simulate(cfg, mem, prog, {1, 1});
 }

@@ -2,7 +2,25 @@
 
 #include <cstdio>
 
+#include "common/json.hh"
+#include "common/sim_error.hh"
+
 namespace si {
+
+void
+StatGroup::checkFresh(const std::string &stat_name) const
+{
+    for (const auto &s : scalars_) {
+        sim_throw_if(s.name == stat_name, ErrorKind::Internal,
+                     "StatGroup '%s': duplicate registration of '%s'",
+                     name_.c_str(), stat_name.c_str());
+    }
+    for (const auto &f : formulas_) {
+        sim_throw_if(f.name == stat_name, ErrorKind::Internal,
+                     "StatGroup '%s': duplicate registration of '%s'",
+                     name_.c_str(), stat_name.c_str());
+    }
+}
 
 std::string
 StatGroup::dump() const
@@ -21,6 +39,24 @@ StatGroup::dump() const
         out += line;
     }
     return out;
+}
+
+std::string
+StatGroup::dumpJson() const
+{
+    json::Writer w;
+    w.beginObject();
+    w.key("name").value(name_);
+    w.key("scalars").beginObject();
+    for (const auto &s : scalars_)
+        w.key(s.name).value(s.value);
+    w.endObject();
+    w.key("formulas").beginObject();
+    for (const auto &f : formulas_)
+        w.key(f.name).value(f.fn());
+    w.endObject();
+    w.endObject();
+    return w.take();
 }
 
 } // namespace si

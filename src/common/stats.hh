@@ -26,31 +26,44 @@ class StatGroup
     /**
      * Register a counter under @p stat_name; returns a reference slot.
      * References remain valid for the lifetime of the group (deque
-     * storage never relocates elements).
+     * storage never relocates elements). Registering a name twice is a
+     * programming error (it would corrupt text dumps and emit duplicate
+     * JSON keys) and throws SimError(ErrorKind::Internal).
      */
     std::uint64_t &
     scalar(const std::string &stat_name)
     {
+        checkFresh(stat_name);
         scalars_.push_back({stat_name, 0});
         return scalars_.back().value;
     }
 
     /**
      * Register a derived statistic computed at dump time (ratios,
-     * percentages, ...).
+     * percentages, ...). Duplicate names throw, as with scalar().
      */
     void
     formula(const std::string &stat_name, std::function<double()> fn)
     {
+        checkFresh(stat_name);
         formulas_.push_back({stat_name, std::move(fn)});
     }
 
     /** Render all statistics as "group.stat  value" lines. */
     std::string dump() const;
 
+    /**
+     * Render all statistics as one JSON object with stable key order
+     * (registration order): {"name":...,"scalars":{...},"formulas":{...}}.
+     */
+    std::string dumpJson() const;
+
     const std::string &name() const { return name_; }
 
   private:
+    /** Throw when @p stat_name is already registered in this group. */
+    void checkFresh(const std::string &stat_name) const;
+
     struct Scalar
     {
         std::string name;

@@ -17,31 +17,8 @@
 
 namespace si {
 
-/** One issued instruction, as seen by an IssueHook observer. */
-struct IssueEvent
-{
-    Cycle cycle;
-    unsigned smId;
-    unsigned warpId;
-    std::uint32_t pc;
-    ThreadMask activeMask;
-
-    /**
-     * Lanes of activeMask whose guard predicate passed — the lanes that
-     * architecturally execute the instruction (the rest only advance
-     * their PC). Drives the retirement traces the differential oracle
-     * compares against the reference interpreter (core/retire_trace.hh).
-     */
-    ThreadMask execMask;
-};
-
-/**
- * Optional per-issue observer for tracing/visualization tools. Called
- * synchronously on every instruction issue; keep it cheap.
- */
-using IssueHook = std::function<void(const IssueEvent &)>;
-
 class Gpu;
+class TraceSink;
 
 /**
  * Optional per-cycle hook called before the SMs tick. The fault-injection
@@ -204,8 +181,16 @@ struct GpuConfig
     CancelHook cancelHook;
     std::uint64_t cancelCheckInterval = 8192;
 
-    /** Optional per-issue trace observer (null = disabled). */
-    IssueHook issueHook;
+    /**
+     * Trace event consumer (null = tracing off). Non-owning; must
+     * outlive the run. Receives the typed event stream defined in
+     * trace/events.hh — instruction issues, subwarp state transitions,
+     * cache traffic, stall attribution, watchdog and fault-injection
+     * events — each stamped with cycle/SM/PB/warp. The always-on tier
+     * (Issue/WarpRetire/Watchdog/FaultInject) fires in every build;
+     * the rest compile out with -DSI_TRACE=OFF.
+     */
+    TraceSink *traceSink = nullptr;
 
     /** Total warp slots per SM (paper sweeps {8, 16, 32}). */
     unsigned

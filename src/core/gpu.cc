@@ -4,6 +4,7 @@
 
 #include "common/log.hh"
 #include "common/sim_error.hh"
+#include "trace/events.hh"
 
 namespace si {
 
@@ -27,6 +28,7 @@ GpuResult
 Gpu::runMulti(const std::vector<KernelLaunch> &kernels)
 {
     GpuResult result;
+    Cycle now = 0;
     try {
         sim_throw_if(kernels.empty(), ErrorKind::Config,
                      "no kernels to launch");
@@ -63,7 +65,6 @@ Gpu::runMulti(const std::vector<KernelLaunch> &kernels)
         // when no writeback is in flight — pending events always fire
         // at a bounded future cycle, so a stalled-but-live machine
         // keeps its wakeups queued.
-        Cycle now = 0;
         std::uint64_t last_issued = 0;
         Cycle last_progress = 0;
         while (true) {
@@ -143,6 +144,18 @@ Gpu::runMulti(const std::vector<KernelLaunch> &kernels)
         }
     } catch (const SimError &e) {
         result.status = e.status();
+    }
+
+    // Always-on tier: a failed run stamps its timeline with the watchdog
+    // verdict, so livelock/deadlock reports come with trace context.
+    if (!result.status.ok()) {
+        if (TraceSink *sink = config_.traceSink) {
+            TraceEvent ev;
+            ev.cycle = now;
+            ev.arg = std::uint32_t(result.status.kind);
+            ev.kind = TraceEventKind::Watchdog;
+            sink->record(ev);
+        }
     }
 
     for (auto &sm : sms_) {

@@ -106,6 +106,10 @@ class Gpu
     Sm &sm(unsigned i) { return *sms_[i]; }
     unsigned numSms() const { return unsigned(sms_.size()); }
 
+    /** The effective configuration (hooks like fault injection use the
+     *  installed trace sink through this). */
+    const GpuConfig &config() const { return config_; }
+
   private:
     const GpuConfig config_; ///< copied: callers may reuse/modify theirs
     Memory &memory_;

@@ -19,7 +19,8 @@
 #include <vector>
 
 #include "common/thread_mask.hh"
-#include "core/config.hh"
+#include "common/types.hh"
+#include "trace/events.hh"
 
 namespace si {
 
@@ -38,23 +39,26 @@ struct RetireEvent
 using WarpRetireTrace = std::array<std::vector<RetireEvent>, warpSize>;
 
 /**
- * Collects retirement traces from the cycle model through the per-issue
- * hook. Install with `config.issueHook = collector.hook()`; the
- * collector must outlive the run. Traces are keyed by warp id (for
- * single-kernel launches this equals the warp's launch index).
+ * Collects retirement traces from the cycle model's trace stream. A
+ * TraceSink adapter over the always-on Issue events: install with
+ * `config.traceSink = &collector`; the collector must outlive the run.
+ * Traces are keyed by warp id (for single-kernel launches this equals
+ * the warp's launch index). Because Issue events are in the always-on
+ * tier, the differential oracle works even in -DSI_TRACE=OFF builds.
  */
-class RetireTraceCollector
+class RetireTraceCollector : public TraceSink
 {
   public:
-    /** The observer to install as GpuConfig::issueHook. */
-    IssueHook
-    hook()
+    void
+    record(const TraceEvent &ev) override
     {
-        return [this](const IssueEvent &ev) {
-            WarpRetireTrace &warp = traces_[ev.warpId];
-            for (unsigned lane : lanesOf(ev.activeMask))
-                warp[lane].push_back({ev.pc, ev.execMask.test(lane)});
-        };
+        if (ev.kind != TraceEventKind::Issue)
+            return;
+        const ThreadMask active(ev.mask);
+        const ThreadMask exec(ev.mask2);
+        WarpRetireTrace &warp = traces_[ev.warpId];
+        for (unsigned lane : lanesOf(active))
+            warp[lane].push_back({ev.pc, exec.test(lane)});
     }
 
     const std::map<unsigned, WarpRetireTrace> &traces() const

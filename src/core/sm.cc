@@ -6,6 +6,7 @@
 #include "common/log.hh"
 #include "common/sim_error.hh"
 #include "core/invariants.hh"
+#include "trace/events.hh"
 
 namespace si {
 
@@ -51,6 +52,93 @@ compareF(CmpOp op, float a, float b)
     return false;
 }
 
+#if SI_TRACE_ENABLED
+
+TraceEvent
+warpEvent(unsigned sm_id, const Warp &w, TraceEventKind kind, Cycle now)
+{
+    TraceEvent ev;
+    ev.cycle = now;
+    ev.warpId = std::uint16_t(w.id());
+    ev.smId = std::uint8_t(sm_id);
+    ev.pb = std::uint8_t(w.pb());
+    ev.kind = kind;
+    return ev;
+}
+
+TraceEvent
+cacheEvent(TraceEventKind kind, unsigned sm_id, const Warp &w, Cycle now,
+           TraceCacheLevel level, Cache::AccessResult res, Addr line,
+           std::uint32_t pc)
+{
+    TraceEvent ev = warpEvent(sm_id, w, kind, now);
+    ev.addr = line;
+    ev.pc = pc;
+    ev.mask = w.activeMask().raw();
+    ev.arg = std::uint32_t(level) | (std::uint32_t(res.hit) << 8) |
+             (std::uint32_t(res.evicted) << 9);
+    return ev;
+}
+
+/**
+ * Classify a lost issue slot as one of the paper's Figure 3 stall
+ * reasons. The mapping mirrors the SmStats counter switch in Sm::tick()
+ * exactly, so per-reason profiler totals reconcile with the counters:
+ * LoadToUse+Barrier+NoReadySubwarp == warpScoreboardStallCycles,
+ * IFetch == warpFetchStallCycles, Pipe == warpPipeStallCycles,
+ * Switch == warpSwitchCycles.
+ */
+TraceEvent
+stallEvent(unsigned sm_id, const Warp &w, WarpStatus st, Cycle now)
+{
+    StallReason reason;
+    switch (st) {
+      case WarpStatus::ScoreboardStall:
+        reason = StallReason::LoadToUse;
+        break;
+      case WarpStatus::FetchStall:
+        reason = StallReason::IFetch;
+        break;
+      case WarpStatus::PipeStall:
+        reason = StallReason::Pipe;
+        break;
+      case WarpStatus::Busy:
+        reason = StallReason::Switch;
+        break;
+      case WarpStatus::WaitWakeup:
+      default:
+        reason = w.lanesInState(ThreadState::Blocked).any()
+                     ? StallReason::Barrier
+                     : StallReason::NoReadySubwarp;
+        break;
+    }
+
+    // Attribute to the active pc; with no ACTIVE subwarp, to the first
+    // stalled TST entry's pc (the load the warp is waiting behind).
+    std::uint32_t pc = traceNoPc;
+    if (w.activeMask().any()) {
+        pc = w.activePc();
+    } else {
+        for (const auto &e : w.tst()) {
+            if (e.valid) {
+                pc = e.pc;
+                break;
+            }
+        }
+    }
+    std::uint32_t op = traceNoOpcode;
+    if (pc != traceNoPc && pc < w.program().size())
+        op = std::uint32_t(w.program().at(pc).op);
+
+    TraceEvent ev = warpEvent(sm_id, w, TraceEventKind::StallCycle, now);
+    ev.pc = pc;
+    ev.mask = w.activeMask().raw();
+    ev.arg = std::uint32_t(reason) | (op << 8);
+    return ev;
+}
+
+#endif // SI_TRACE_ENABLED
+
 } // namespace
 
 void
@@ -95,7 +183,7 @@ Sm::Sm(unsigned id, const GpuConfig &config, Memory &memory,
       l1d_(config.l1d),
       l1i_(config.l1i),
       rtcore_(scene, config.rtc),
-      unit_(config, config.rngSeed + id * 7919 + 1)
+      unit_(config, config.rngSeed + id * 7919 + 1, id)
 {
     pbs_.reserve(config.pbsPerSm);
     for (unsigned p = 0; p < config.pbsPerSm; ++p)
@@ -157,7 +245,15 @@ Sm::drainWritebacks(Cycle now)
         events_.erase(events_.begin());
         Warp &w = *warps_[wb.warpIdx];
         w.scoreboards().decr(wb.mask, wb.sb);
-        unit_.wakeup(w, wb.sb);
+        SI_TRACE_EVENT(config_.traceSink, [&] {
+            TraceEvent ev =
+                warpEvent(id_, w, TraceEventKind::Writeback, now);
+            ev.mask = wb.mask.raw();
+            ev.arg = std::uint32_t(wb.sb) |
+                     (std::uint32_t(wb.port) << 8);
+            return ev;
+        }());
+        unit_.wakeup(w, wb.sb, now);
     }
 }
 
@@ -240,11 +336,28 @@ Sm::evalWarp(unsigned warp_idx, Cycle now)
     if (w.fetchedPc != pc) {
         const Addr line = w.program().instrAddr(pc);
         ProcessingBlock &pb = pbs_[w.pb()];
-        const bool l0_hit = pb.l0i.access(line);
+        const Cache::AccessResult l0 = pb.l0i.accessEx(line);
+        SI_TRACE_EVENT(config_.traceSink,
+                       cacheEvent(TraceEventKind::CacheAccess, id_, w, now,
+                                  TraceCacheLevel::L0I, l0, line, pc));
         w.fetchedPc = pc;
-        if (!l0_hit) {
-            const bool l1_hit = l1i_.access(line);
-            w.issueReadyAt = now + (l1_hit ? config_.lat.l0iMiss
+        if (!l0.hit) {
+            SI_TRACE_EVENT(config_.traceSink,
+                           cacheEvent(TraceEventKind::CacheFill, id_, w,
+                                      now, TraceCacheLevel::L0I, l0, line,
+                                      pc));
+            const Cache::AccessResult l1 = l1i_.accessEx(line);
+            SI_TRACE_EVENT(config_.traceSink,
+                           cacheEvent(TraceEventKind::CacheAccess, id_, w,
+                                      now, TraceCacheLevel::L1I, l1, line,
+                                      pc));
+            if (!l1.hit) {
+                SI_TRACE_EVENT(config_.traceSink,
+                               cacheEvent(TraceEventKind::CacheFill, id_,
+                                          w, now, TraceCacheLevel::L1I, l1,
+                                          line, pc));
+            }
+            w.issueReadyAt = now + (l1.hit ? config_.lat.l0iMiss
                                            : config_.lat.l1iMiss);
             w.inFetchStall = true;
             return WarpStatus::FetchStall;
@@ -316,8 +429,21 @@ Sm::issue(unsigned warp_idx, Cycle now)
     ++stats_.instrsIssued;
     w.lastIssueCycle = now;
 
-    if (config_.issueHook)
-        config_.issueHook({now, id_, w.id(), pc, active, exec});
+    // Always-on tier: the differential oracle's retirement traces are
+    // derived from Issue events, so these fire in every build.
+    if (TraceSink *sink = config_.traceSink) {
+        TraceEvent ev;
+        ev.cycle = now;
+        ev.pc = pc;
+        ev.mask = active.raw();
+        ev.mask2 = exec.raw();
+        ev.arg = std::uint32_t(in.op);
+        ev.warpId = std::uint16_t(w.id());
+        ev.smId = std::uint8_t(id_);
+        ev.pb = std::uint8_t(w.pb());
+        ev.kind = TraceEventKind::Issue;
+        sink->record(ev);
+    }
 
     auto advance = [&]() {
         for (unsigned lane : lanesOf(active))
@@ -563,8 +689,20 @@ Sm::issue(unsigned warp_idx, Cycle now)
             if (!seen)
                 lines[num_lines++] = line;
         }
-        for (unsigned i = 0; i < num_lines; ++i)
-            any_miss |= !l1d_.access(lines[i]);
+        for (unsigned i = 0; i < num_lines; ++i) {
+            const Cache::AccessResult res = l1d_.accessEx(lines[i]);
+            any_miss |= !res.hit;
+            SI_TRACE_EVENT(config_.traceSink,
+                           cacheEvent(TraceEventKind::CacheAccess, id_, w,
+                                      now, TraceCacheLevel::L1D, res,
+                                      lines[i], pc));
+            if (!res.hit) {
+                SI_TRACE_EVENT(config_.traceSink,
+                               cacheEvent(TraceEventKind::CacheFill, id_,
+                                          w, now, TraceCacheLevel::L1D,
+                                          res, lines[i], pc));
+            }
+        }
         stats_.gmemTransactions += num_lines;
         if (exec.any() && in.wrSb != sbNone) {
             w.scoreboards().incr(exec, in.wrSb);
@@ -604,8 +742,20 @@ Sm::issue(unsigned warp_idx, Cycle now)
             if (!seen)
                 lines[num_lines++] = line;
         }
-        for (unsigned i = 0; i < num_lines; ++i)
-            any_miss |= !l1d_.access(lines[i]);
+        for (unsigned i = 0; i < num_lines; ++i) {
+            const Cache::AccessResult res = l1d_.accessEx(lines[i]);
+            any_miss |= !res.hit;
+            SI_TRACE_EVENT(config_.traceSink,
+                           cacheEvent(TraceEventKind::CacheAccess, id_, w,
+                                      now, TraceCacheLevel::L1D, res,
+                                      lines[i], pc));
+            if (!res.hit) {
+                SI_TRACE_EVENT(config_.traceSink,
+                               cacheEvent(TraceEventKind::CacheFill, id_,
+                                          w, now, TraceCacheLevel::L1D,
+                                          res, lines[i], pc));
+            }
+        }
         stats_.gmemTransactions += num_lines;
         if (exec.any() && in.wrSb != sbNone) {
             w.scoreboards().incr(exec, in.wrSb);
@@ -664,7 +814,7 @@ Sm::issue(unsigned warp_idx, Cycle now)
             break;
         }
         // Divergence: exec lanes take, the rest fall through.
-        unit_.diverge(w, exec, in.target, pc + 1, in.stallHint);
+        unit_.diverge(w, exec, in.target, pc + 1, in.stallHint, now);
         advanced = true;
         break;
       }
@@ -705,6 +855,20 @@ Sm::issue(unsigned warp_idx, Cycle now)
 
     if (!advanced)
         advance();
+
+    // Always-on tier: warp completion marker.
+    if (w.done()) {
+        if (TraceSink *sink = config_.traceSink) {
+            TraceEvent ev;
+            ev.cycle = now;
+            ev.pc = pc;
+            ev.warpId = std::uint16_t(w.id());
+            ev.smId = std::uint8_t(id_);
+            ev.pb = std::uint8_t(w.pb());
+            ev.kind = TraceEventKind::WarpRetire;
+            sink->record(ev);
+        }
+    }
 
     // Result latency for short producers; long producers are guarded by
     // their scoreboards and only need the issue slot.
@@ -771,6 +935,13 @@ Sm::tick(Cycle now)
                 break;
               default:
                 break;
+            }
+            // One StallCycle event per lost warp-slot, bucketed by the
+            // same classification the counters above use (the profiler
+            // reconciles the two exactly).
+            if (st != WarpStatus::Issuable) {
+                SI_TRACE_EVENT(config_.traceSink,
+                               stallEvent(id_, *warps_[wi], st, now));
             }
         }
         any_live |= live > 0;

@@ -5,14 +5,16 @@
 
 namespace si {
 
-SubwarpUnit::SubwarpUnit(const GpuConfig &config, std::uint64_t rng_seed)
-    : config_(config), rng_(rng_seed)
+SubwarpUnit::SubwarpUnit(const GpuConfig &config, std::uint64_t rng_seed,
+                         unsigned sm_id)
+    : config_(config), rng_(rng_seed), smId_(sm_id)
 {
 }
 
 void
 SubwarpUnit::diverge(Warp &warp, ThreadMask taken, std::uint32_t taken_pc,
-                     std::uint32_t fallthrough_pc, std::int8_t stall_hint)
+                     std::uint32_t fallthrough_pc, std::int8_t stall_hint,
+                     [[maybe_unused]] Cycle now)
 {
     const ThreadMask active = warp.activeMask();
     const ThreadMask not_taken = active - taken;
@@ -51,6 +53,9 @@ SubwarpUnit::diverge(Warp &warp, ThreadMask taken, std::uint32_t taken_pc,
         warp.setState(lane, ThreadState::Ready);
     }
     ++stats_.divergentBranches;
+    SI_TRACE_EVENT(config_.traceSink,
+                   makeEvent(warp, TraceEventKind::SubwarpDiverge, now,
+                             keep_pc, keep.raw(), demote.raw(), demote_pc));
 }
 
 bool
@@ -86,6 +91,9 @@ SubwarpUnit::arriveBsync(Warp &warp, BarIndex bar, std::uint32_t sync_pc,
         }
         warp.setBarrier(bar, ThreadMask());
         ++stats_.reconvergences;
+        SI_TRACE_EVENT(config_.traceSink,
+                       makeEvent(warp, TraceEventKind::SubwarpReconverge,
+                                 now, sync_pc, participants.raw(), 0, bar));
         return true;
     }
 
@@ -94,12 +102,16 @@ SubwarpUnit::arriveBsync(Warp &warp, BarIndex bar, std::uint32_t sync_pc,
         warp.setState(lane, ThreadState::Blocked);
         warp.setBlockedOn(lane, bar);
     }
+    SI_TRACE_EVENT(config_.traceSink,
+                   makeEvent(warp, TraceEventKind::SubwarpBlock, now,
+                             sync_pc, active.raw(), 0, bar));
     select(warp, now);
     return false;
 }
 
 void
-SubwarpUnit::releaseBarrier(Warp &warp, BarIndex bar)
+SubwarpUnit::releaseBarrier(Warp &warp, BarIndex bar,
+                            [[maybe_unused]] Cycle now)
 {
     const ThreadMask blocked = warp.barrier(bar) & warp.live();
     for (unsigned lane : lanesOf(blocked)) {
@@ -109,6 +121,9 @@ SubwarpUnit::releaseBarrier(Warp &warp, BarIndex bar)
     }
     warp.setBarrier(bar, ThreadMask());
     ++stats_.barrierReleasesOnExit;
+    SI_TRACE_EVENT(config_.traceSink,
+                   makeEvent(warp, TraceEventKind::BarrierRelease, now, 0,
+                             blocked.raw(), 0, bar));
 }
 
 void
@@ -137,7 +152,7 @@ SubwarpUnit::exitLanes(Warp &warp, ThreadMask kill, Cycle now)
             }
         }
         if (all_blocked)
-            releaseBarrier(warp, b);
+            releaseBarrier(warp, b, now);
     }
 
     if (warp.activeMask().empty())
@@ -169,6 +184,9 @@ SubwarpUnit::subwarpStall(Warp &warp, std::uint8_t req_mask, Cycle now)
     }
     if (!entry) {
         ++stats_.stallDemotionsDeniedTstFull;
+        SI_TRACE_EVENT(config_.traceSink,
+                       makeEvent(warp, TraceEventKind::TstFull, now,
+                                 warp.activePc(), active.raw()));
         return false;
     }
 
@@ -186,6 +204,9 @@ SubwarpUnit::subwarpStall(Warp &warp, std::uint8_t req_mask, Cycle now)
     for (unsigned lane : lanesOf(active))
         warp.setState(lane, ThreadState::Stalled);
     ++stats_.subwarpStalls;
+    SI_TRACE_EVENT(config_.traceSink,
+                   makeEvent(warp, TraceEventKind::SubwarpStall, now,
+                             entry->pc, active.raw(), 0, entry->sbId));
 
     select(warp, now);
     return true;
@@ -217,6 +238,9 @@ SubwarpUnit::subwarpYield(Warp &warp, Cycle now)
     for (unsigned lane : lanesOf(active))
         warp.setState(lane, ThreadState::Ready);
     ++stats_.subwarpYields;
+    SI_TRACE_EVENT(config_.traceSink,
+                   makeEvent(warp, TraceEventKind::SubwarpYield, now,
+                             yielded_pc, active.raw()));
 
     if (!select(warp, now, yielded_pc)) {
         // Unreachable given the pre-check, but keep the warp runnable.
@@ -228,7 +252,7 @@ SubwarpUnit::subwarpYield(Warp &warp, Cycle now)
 }
 
 void
-SubwarpUnit::wakeup(Warp &warp, SbIndex sb)
+SubwarpUnit::wakeup(Warp &warp, SbIndex sb, [[maybe_unused]] Cycle now)
 {
     const ScoreboardFile &sbf = warp.scoreboards();
     for (auto &entry : warp.tst()) {
@@ -247,6 +271,11 @@ SubwarpUnit::wakeup(Warp &warp, SbIndex sb)
             }
             entry.valid = false;
             ++stats_.subwarpWakeups;
+            SI_TRACE_EVENT(config_.traceSink,
+                           makeEvent(warp, TraceEventKind::SubwarpWakeup,
+                                     now, entry.pc,
+                                     (entry.members & warp.live()).raw(),
+                                     0, sb));
         }
     }
 }
@@ -292,6 +321,9 @@ SubwarpUnit::select(Warp &warp, Cycle now, std::uint32_t avoid_pc)
                                  now + config_.switchLatency);
     warp.inFetchStall = false;
     ++stats_.subwarpSelects;
+    SI_TRACE_EVENT(config_.traceSink,
+                   makeEvent(warp, TraceEventKind::SubwarpSelect, now,
+                             chosen->first, chosen->second.raw()));
     return true;
 }
 

@@ -23,6 +23,7 @@
 #include "common/rng.hh"
 #include "core/config.hh"
 #include "core/warp.hh"
+#include "trace/events.hh"
 
 namespace si {
 
@@ -47,7 +48,9 @@ struct SubwarpUnitStats
 class SubwarpUnit
 {
   public:
-    SubwarpUnit(const GpuConfig &config, std::uint64_t rng_seed);
+    /** @param sm_id host SM index, stamped into emitted trace events. */
+    SubwarpUnit(const GpuConfig &config, std::uint64_t rng_seed,
+                unsigned sm_id = 0);
 
     /**
      * Record a divergent branch: the ACTIVE subwarp of @p warp split
@@ -56,7 +59,8 @@ class SubwarpUnit
      * configured DivergeOrder; the other becomes READY.
      */
     void diverge(Warp &warp, ThreadMask taken, std::uint32_t taken_pc,
-                 std::uint32_t fallthrough_pc, std::int8_t stall_hint = 0);
+                 std::uint32_t fallthrough_pc, std::int8_t stall_hint = 0,
+                 Cycle now = 0);
 
     /**
      * The ACTIVE subwarp executed BSYNC @p bar at @p sync_pc.
@@ -95,7 +99,7 @@ class SubwarpUnit
      * TST entries of @p warp and wake entries whose dependences have
      * fully drained.
      */
-    void wakeup(Warp &warp, SbIndex sb);
+    void wakeup(Warp &warp, SbIndex sb, Cycle now = 0);
 
     /**
      * Promote a READY subwarp to ACTIVE when nothing is ACTIVE.
@@ -110,10 +114,30 @@ class SubwarpUnit
 
   private:
     /** Release barrier @p bar of @p warp: all live participants resume. */
-    void releaseBarrier(Warp &warp, BarIndex bar);
+    void releaseBarrier(Warp &warp, BarIndex bar, Cycle now);
+
+    /** Trace event stamped with this unit's SM and @p warp's identity. */
+    TraceEvent
+    makeEvent(const Warp &warp, TraceEventKind kind, Cycle now,
+              std::uint32_t pc = 0, std::uint32_t mask = 0,
+              std::uint32_t mask2 = 0, std::uint32_t arg = 0) const
+    {
+        TraceEvent ev;
+        ev.cycle = now;
+        ev.pc = pc;
+        ev.mask = mask;
+        ev.mask2 = mask2;
+        ev.arg = arg;
+        ev.warpId = std::uint16_t(warp.id());
+        ev.smId = std::uint8_t(smId_);
+        ev.pb = std::uint8_t(warp.pb());
+        ev.kind = kind;
+        return ev;
+    }
 
     const GpuConfig &config_;
     Rng rng_;
+    unsigned smId_;
     SubwarpUnitStats stats_;
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "trace/events.hh"
+
 namespace si {
 
 const char *
@@ -34,6 +36,19 @@ FaultInjector::onCycle(Gpu &gpu, Cycle now)
       case FaultKind::BarrierMaskCorruption:
         tryBarrierMask(gpu, now);
         break;
+    }
+
+    // Always-on tier: stamp the corruption into the trace timeline so a
+    // campaign's livelock report carries the moment of injection. The
+    // fired_ guard above makes this fire exactly once.
+    if (fired_) {
+        if (TraceSink *sink = gpu.config().traceSink) {
+            TraceEvent ev;
+            ev.cycle = now;
+            ev.arg = std::uint32_t(spec_.kind);
+            ev.kind = TraceEventKind::FaultInject;
+            sink->record(ev);
+        }
     }
 }
 

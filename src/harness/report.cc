@@ -1,12 +1,13 @@
 #include "harness/report.hh"
 
+#include "common/json.hh"
 #include "common/stats.hh"
 
 namespace si {
 
-std::string
-statsReport(const std::string &name, const SmStats &s,
-            std::uint64_t norm_cycles)
+StatGroup
+statsGroup(const std::string &name, const SmStats &s,
+           std::uint64_t norm_cycles)
 {
     const std::uint64_t norm = norm_cycles ? norm_cycles : s.cycles;
     StatGroup g(name);
@@ -59,7 +60,14 @@ statsReport(const std::string &name, const SmStats &s,
         const double total = double(s.l0iHits + s.l0iMisses);
         return total > 0 ? double(s.l0iMisses) / total : 0.0;
     });
-    return g.dump();
+    return g;
+}
+
+std::string
+statsReport(const std::string &name, const SmStats &s,
+            std::uint64_t norm_cycles)
+{
+    return statsGroup(name, s, norm_cycles).dump();
 }
 
 std::string
@@ -70,6 +78,29 @@ statsReport(const GpuResult &result)
     for (std::size_t i = 0; i < result.perSm.size(); ++i)
         out += statsReport("sm" + std::to_string(i), result.perSm[i]);
     return out;
+}
+
+std::string
+statsJson(const GpuResult &result, const std::string &kernel)
+{
+    json::Writer w;
+    w.beginObject();
+    w.key("schema").value("si-stats-v1");
+    if (!kernel.empty())
+        w.key("kernel").value(kernel);
+    w.key("ok").value(result.ok());
+    w.key("status").value(result.status.ok() ? "ok"
+                                             : result.status.summary());
+    w.key("cycles").value(std::uint64_t(result.cycles));
+    w.key("groups").beginArray();
+    w.raw(statsGroup("gpu", result.total, result.smCycleSum()).dumpJson());
+    for (std::size_t i = 0; i < result.perSm.size(); ++i) {
+        w.raw(statsGroup("sm" + std::to_string(i), result.perSm[i])
+                  .dumpJson());
+    }
+    w.endArray();
+    w.endObject();
+    return w.take();
 }
 
 } // namespace si

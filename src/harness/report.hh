@@ -10,9 +10,21 @@
 
 #include <string>
 
+#include "common/stats.hh"
 #include "core/gpu.hh"
 
 namespace si {
+
+/**
+ * Build the StatGroup for @p stats under the group name @p name — the
+ * single registration point behind both the text and JSON renderers.
+ * @p norm_cycles overrides the denominator of the fraction formulas
+ * (needed for aggregates, whose counters sum over SMs while cycles is
+ * the max); 0 uses stats.cycles. The formulas reference @p stats, which
+ * must outlive the returned group.
+ */
+StatGroup statsGroup(const std::string &name, const SmStats &stats,
+                     std::uint64_t norm_cycles = 0);
 
 /**
  * Render every counter of @p stats under the group name @p name.
@@ -25,6 +37,14 @@ std::string statsReport(const std::string &name, const SmStats &stats,
 
 /** Render the aggregate and per-SM statistics of a run. */
 std::string statsReport(const GpuResult &result);
+
+/**
+ * Machine-readable run statistics ("si-stats-v1"): run status, cycles,
+ * and one StatGroup JSON object per group (aggregate "gpu" first, then
+ * per-SM), all with stable key order. swsim --stats-json emits this.
+ */
+std::string statsJson(const GpuResult &result,
+                      const std::string &kernel = "");
 
 } // namespace si
 

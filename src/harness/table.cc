@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/json.hh"
 #include "common/log.hh"
 
 namespace si {
@@ -87,6 +88,28 @@ TablePrinter::print() const
 {
     std::fputs(render().c_str(), stdout);
     std::fflush(stdout);
+}
+
+std::string
+TablePrinter::json() const
+{
+    json::Writer w;
+    w.beginObject();
+    w.key("title").value(title_);
+    w.key("columns").beginArray();
+    for (const auto &c : header_)
+        w.value(c);
+    w.endArray();
+    w.key("rows").beginArray();
+    for (const auto &r : rows_) {
+        w.beginArray();
+        for (const auto &cell : r)
+            w.value(cell);
+        w.endArray();
+    }
+    w.endArray();
+    w.endObject();
+    return w.take();
 }
 
 } // namespace si

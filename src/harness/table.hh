@@ -37,6 +37,15 @@ class TablePrinter
     /** Render to stdout. */
     void print() const;
 
+    /**
+     * Machine-readable form: {"title":...,"columns":[...],"rows":[[...]]}
+     * with cells as strings, exactly as rendered. Bench binaries embed
+     * this in their --json output.
+     */
+    std::string json() const;
+
+    const std::string &title() const { return title_; }
+
   private:
     std::string title_;
     std::vector<std::string> header_;

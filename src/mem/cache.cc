@@ -38,8 +38,8 @@ Cache::setIndex(Addr addr) const
     return unsigned((addr / config_.lineBytes) & (numSets_ - 1));
 }
 
-bool
-Cache::access(Addr addr)
+Cache::AccessResult
+Cache::accessEx(Addr addr)
 {
     const Addr tag = lineOf(addr);
     Line *set = &lines_[std::size_t(setIndex(addr)) * config_.assoc];
@@ -51,7 +51,7 @@ Cache::access(Addr addr)
         if (line.valid && line.tag == tag) {
             line.lastUse = useClock_;
             ++hits_;
-            return true;
+            return {true, false};
         }
         if (!line.valid) {
             victim = &line;
@@ -61,10 +61,11 @@ Cache::access(Addr addr)
     }
 
     ++misses_;
+    const bool evicted = victim->valid;
     victim->valid = true;
     victim->tag = tag;
     victim->lastUse = useClock_;
-    return false;
+    return {false, evicted};
 }
 
 bool

@@ -37,11 +37,22 @@ class Cache
   public:
     explicit Cache(const CacheConfig &config);
 
+    /** Outcome of an access, for trace emission. */
+    struct AccessResult
+    {
+        bool hit = false;
+        /** Miss only: the fill victimized a valid resident line. */
+        bool evicted = false;
+    };
+
     /**
      * Look up @p addr; on miss, victimize the LRU way and fill.
      * @return true on hit.
      */
-    bool access(Addr addr);
+    bool access(Addr addr) { return accessEx(addr).hit; }
+
+    /** access() plus eviction info (drives CacheFill trace events). */
+    AccessResult accessEx(Addr addr);
 
     /** Look up without filling or touching recency. */
     bool probe(Addr addr) const;

@@ -144,7 +144,7 @@ diffProgram(const Program &program, const DiffOptions &opts)
         Memory mem = makeInputImage(opts.imageSeed);
         GpuConfig cfg = pt.config;
         RetireTraceCollector col;
-        cfg.issueHook = col.hook();
+        cfg.traceSink = &col;
 
         FaultInjector injector(
             FaultSpec{opts.injectKind, 1, opts.injectSeed});

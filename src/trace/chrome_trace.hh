@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Chrome trace_event exporter: turns a TraceEvent stream into a JSON
+ * document loadable by Perfetto (ui.perfetto.dev) or chrome://tracing.
+ * One process per SM, one track per warp slot; per-instruction slices
+ * plus subwarp-residency slices make the interleaving visible — a
+ * living version of the paper's Figure 10.
+ */
+
+#ifndef SI_TRACE_CHROME_TRACE_HH
+#define SI_TRACE_CHROME_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/events.hh"
+
+namespace si {
+
+class Program;
+
+/**
+ * Serialize @p events (chronological) as a Chrome trace_event JSON
+ * document. Timestamps are simulator cycles, 1 cycle == 1 us, so
+ * Perfetto's time axis reads directly in cycles. When @p prog is
+ * given, issue slices are named after the instruction at their pc.
+ */
+std::string chromeTraceJson(const std::vector<TraceEvent> &events,
+                            const Program *prog = nullptr);
+
+} // namespace si
+
+#endif // SI_TRACE_CHROME_TRACE_HH

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Event taxonomy and sink interface of the tracing layer.
+ *
+ * The cycle model publishes typed, fixed-size TraceEvent records into a
+ * user-installed TraceSink (GpuConfig::traceSink). Every event is
+ * stamped with cycle / SM / processing block / warp, and carries the
+ * subwarp (lane mask) it concerns plus a small kind-specific payload.
+ *
+ * Overhead model — events come in two tiers:
+ *
+ *  - **Always-on** (Issue, WarpRetire, Watchdog, FaultInject): emitted
+ *    whenever a sink is installed, in every build. Issue events are
+ *    correctness-relevant — the differential-testing oracle derives its
+ *    per-lane retirement traces from them — so they cannot be compiled
+ *    out; their cost (one pointer test per instruction issued) predates
+ *    this layer (the old IssueHook). Watchdog/FaultInject live on
+ *    failure paths where overhead is irrelevant.
+ *
+ *  - **Compile-gated** (StallCycle, CacheAccess/CacheFill, Writeback,
+ *    and all Subwarp* transitions): emitted through SI_TRACE_EVENT(),
+ *    which compiles to nothing when the build sets SI_TRACE_ENABLED=0
+ *    (cmake -DSI_TRACE=OFF). These fire up to once per warp per cycle,
+ *    so the zero-overhead story matters; with tracing compiled out the
+ *    hot loops contain no trace code at all, and the macro's lazy
+ *    argument evaluation means event construction is skipped whenever
+ *    no sink is installed even in tracing builds.
+ *
+ * With no sink installed the cost in a tracing build is one branch per
+ * emission site; event payload expressions are never evaluated.
+ */
+
+#ifndef SI_TRACE_EVENTS_HH
+#define SI_TRACE_EVENTS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace si {
+
+/** What happened. See the emitting site for exact payload semantics. */
+enum class TraceEventKind : std::uint8_t {
+    // ---- always-on tier ----
+    Issue,       ///< instruction issued: pc, mask=active, mask2=exec,
+                 ///< arg=opcode
+    WarpRetire,  ///< every lane of the warp has exited
+    Watchdog,    ///< run failed: arg=ErrorKind (livelock, deadlock, ...)
+    FaultInject, ///< fault-injection campaign corrupted state: arg=FaultKind
+
+    // ---- compile-gated tier (SI_TRACE_EVENT) ----
+    SubwarpDiverge,    ///< branch split: mask=kept, mask2=demoted,
+                       ///< pc=kept pc, arg=demoted pc
+    SubwarpReconverge, ///< BSYNC completed: mask=participants, arg=barrier
+    SubwarpBlock,      ///< BSYNC blocked the subwarp: mask, arg=barrier
+    BarrierRelease,    ///< barrier force-released on exit: mask, arg=barrier
+    SubwarpSelect,     ///< READY subwarp promoted: mask, pc
+    SubwarpStall,      ///< ACTIVE subwarp demoted to STALLED: mask, pc,
+                       ///< arg=scoreboard
+    SubwarpWakeup,     ///< TST entry drained, lanes READY: mask, pc, arg=sb
+    SubwarpYield,      ///< ACTIVE subwarp yielded: mask, pc
+    TstFull,           ///< stall demotion denied, no free TST entry
+    StallCycle,        ///< warp lost an issue slot this cycle:
+                       ///< arg=StallReason | opcode<<8, pc (0xffffffff
+                       ///< when no active subwarp)
+    CacheAccess,       ///< arg=CacheLevel | hit<<8; addr=line address
+    CacheFill,         ///< miss fill: arg=CacheLevel | evicted<<9;
+                       ///< addr=line
+    Writeback,         ///< scoreboard release drained: mask, arg=sb|port<<8
+};
+
+/** Short stable name ("issue", "subwarp-stall", ...). */
+const char *traceEventKindName(TraceEventKind kind);
+
+/**
+ * Why a warp lost an issue slot (the paper's Figure 3 reason buckets,
+ * at warp-cycle granularity so totals reconcile exactly with SmStats):
+ *
+ *   LoadToUse + Barrier + NoReadySubwarp == warpScoreboardStallCycles
+ *   IFetch                               == warpFetchStallCycles
+ *   Pipe                                 == warpPipeStallCycles
+ *   Switch                               == warpSwitchCycles
+ *
+ * Pipe and Switch together form the paper's "structural" bucket.
+ */
+enum class StallReason : std::uint8_t {
+    LoadToUse,      ///< &req scoreboard outstanding (load-to-use)
+    IFetch,         ///< instruction fetch in flight
+    Barrier,        ///< no ACTIVE subwarp; blocked lanes wait at a BSYNC
+    NoReadySubwarp, ///< no ACTIVE subwarp; all demoted subwarps pending
+    Pipe,           ///< short-latency operand not ready (structural)
+    Switch,         ///< subwarp switch / issue penalty timer (structural)
+};
+
+inline constexpr unsigned numStallReasons = 6;
+
+/** Short stable name ("load-to-use", "i-fetch", ...). */
+const char *stallReasonName(StallReason reason);
+
+/** Which cache a CacheAccess/CacheFill event concerns. */
+enum class TraceCacheLevel : std::uint8_t { L1D, L1I, L0I };
+
+/** Short stable name ("l1d", ...). */
+const char *traceCacheLevelName(TraceCacheLevel level);
+
+/** Sentinel pc for events with no active subwarp. */
+inline constexpr std::uint32_t traceNoPc = 0xffffffffu;
+
+/** Sentinel opcode payload for events with no instruction context. */
+inline constexpr std::uint32_t traceNoOpcode = 0xffu;
+
+/**
+ * One trace record. Fixed-size POD: this exact layout is what the
+ * binary ring-buffer dump writes (see trace/sinks.hh), so additions
+ * must bump the binary format version.
+ */
+struct TraceEvent
+{
+    Cycle cycle = 0;
+    Addr addr = 0;           ///< cache line for Cache* events
+    std::uint32_t pc = 0;
+    std::uint32_t mask = 0;  ///< subwarp lane mask (ThreadMask::raw())
+    std::uint32_t mask2 = 0; ///< second mask payload (exec / demoted)
+    std::uint32_t arg = 0;   ///< kind-specific small payload
+    std::uint16_t warpId = 0;
+    std::uint8_t smId = 0;
+    std::uint8_t pb = 0;
+    TraceEventKind kind = TraceEventKind::Issue;
+
+    bool operator==(const TraceEvent &) const = default;
+};
+
+/**
+ * Consumer interface. record() is called synchronously from the cycle
+ * model's hot paths — implementations must be cheap and must not throw.
+ * Sinks are installed via GpuConfig::traceSink (non-owning) and must
+ * outlive the run.
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+    virtual void record(const TraceEvent &event) = 0;
+};
+
+#ifndef SI_TRACE_ENABLED
+#define SI_TRACE_ENABLED 1
+#endif
+
+#if SI_TRACE_ENABLED
+/**
+ * Emit a compile-gated trace event. @p sink is evaluated once; the
+ * event expression is evaluated only when the sink is non-null.
+ * Compiles to nothing when SI_TRACE_ENABLED is 0.
+ */
+#define SI_TRACE_EVENT(sink, ...) \
+    do { \
+        ::si::TraceSink *si_trace_sink_ = (sink); \
+        if (si_trace_sink_) \
+            si_trace_sink_->record(__VA_ARGS__); \
+    } while (0)
+#else
+#define SI_TRACE_EVENT(sink, ...) \
+    do { \
+    } while (0)
+#endif
+
+} // namespace si
+
+#endif // SI_TRACE_EVENTS_HH

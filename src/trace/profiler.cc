@@ -1,0 +1,190 @@
+#include "trace/profiler.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/json.hh"
+#include "isa/opcode.hh"
+#include "isa/program.hh"
+
+namespace si {
+
+namespace {
+
+std::string
+pcLabel(std::uint32_t pc, const Program *prog)
+{
+    if (pc == traceNoPc)
+        return "(no subwarp)";
+    char buf[48];
+    if (prog && pc < prog->size()) {
+        std::snprintf(buf, sizeof(buf), "%4u %-6s", pc,
+                      opcodeName(prog->at(pc).op));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%4u", pc);
+    }
+    return buf;
+}
+
+std::string
+opcodeLabel(std::uint32_t op)
+{
+    if (op == traceNoOpcode)
+        return "(none)";
+    return opcodeName(static_cast<Opcode>(op));
+}
+
+std::uint64_t
+rowTotal(const StallProfiler::ReasonCounts &row)
+{
+    std::uint64_t t = 0;
+    for (const std::uint64_t v : row)
+        t += v;
+    return t;
+}
+
+/** Histogram rows sorted by descending total, key ascending on ties. */
+std::vector<std::pair<std::uint32_t, StallProfiler::ReasonCounts>>
+sortedRows(const std::map<std::uint32_t, StallProfiler::ReasonCounts> &hist,
+           std::size_t top_n)
+{
+    std::vector<std::pair<std::uint32_t, StallProfiler::ReasonCounts>> rows(
+        hist.begin(), hist.end());
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const auto &a, const auto &b) {
+                         return rowTotal(a.second) > rowTotal(b.second);
+                     });
+    if (rows.size() > top_n)
+        rows.resize(top_n);
+    return rows;
+}
+
+} // namespace
+
+void
+StallProfiler::record(const TraceEvent &event)
+{
+    if (event.kind == TraceEventKind::Issue) {
+        ++issued_;
+        return;
+    }
+    if (event.kind != TraceEventKind::StallCycle)
+        return;
+    const auto reason = std::size_t(event.arg & 0xff);
+    if (reason >= numStallReasons)
+        return;
+    ++totals_[reason];
+    ++perPc_[event.pc][reason];
+    ++perOpcode_[(event.arg >> 8) & 0xff][reason];
+}
+
+void
+StallProfiler::fold(const std::vector<TraceEvent> &events)
+{
+    for (const TraceEvent &ev : events)
+        record(ev);
+}
+
+std::uint64_t
+StallProfiler::totalStalls() const
+{
+    return rowTotal(totals_);
+}
+
+std::string
+StallProfiler::report(const Program *prog, std::size_t top_n) const
+{
+    std::string out;
+    char line[256];
+    const std::uint64_t total = totalStalls();
+    const std::uint64_t slots = total + issued_;
+
+    out += "== stall attribution (lost issue slots) ==\n";
+    std::snprintf(line, sizeof(line),
+                  "issued %llu, stalled %llu of %llu warp-cycles\n",
+                  static_cast<unsigned long long>(issued_),
+                  static_cast<unsigned long long>(total),
+                  static_cast<unsigned long long>(slots));
+    out += line;
+    for (unsigned r = 0; r < numStallReasons; ++r) {
+        const double share =
+            total ? 100.0 * double(totals_[r]) / double(total) : 0.0;
+        std::snprintf(line, sizeof(line), "  %-18s %12llu  %6.2f%%\n",
+                      stallReasonName(static_cast<StallReason>(r)),
+                      static_cast<unsigned long long>(totals_[r]), share);
+        out += line;
+    }
+
+    const char *header = "  %-16s %10s %12s %8s %8s %9s %6s %7s\n";
+    const char *rowFmt =
+        "  %-16s %10llu %12llu %8llu %8llu %9llu %6llu %7llu\n";
+    auto section = [&](const char *title, const auto &hist, auto label) {
+        out += title;
+        std::snprintf(line, sizeof(line), header, "", "total", "load2use",
+                      "ifetch", "barrier", "no-ready", "pipe", "switch");
+        out += line;
+        for (const auto &[key, counts] : sortedRows(hist, top_n)) {
+            std::snprintf(
+                line, sizeof(line), rowFmt, label(key).c_str(),
+                static_cast<unsigned long long>(rowTotal(counts)),
+                static_cast<unsigned long long>(counts[0]),
+                static_cast<unsigned long long>(counts[1]),
+                static_cast<unsigned long long>(counts[2]),
+                static_cast<unsigned long long>(counts[3]),
+                static_cast<unsigned long long>(counts[4]),
+                static_cast<unsigned long long>(counts[5]));
+            out += line;
+        }
+    };
+    section("== per-pc hotspots ==\n", perPc_,
+            [&](std::uint32_t pc) { return pcLabel(pc, prog); });
+    section("== per-opcode ==\n", perOpcode_,
+            [&](std::uint32_t op) { return opcodeLabel(op); });
+    return out;
+}
+
+std::string
+StallProfiler::reportJson(const Program *prog) const
+{
+    json::Writer w;
+    w.beginObject();
+    w.key("schema").value("si-stall-v1");
+    if (prog)
+        w.key("kernel").value(prog->name());
+    w.key("issued").value(issued_);
+    w.key("totalStalls").value(totalStalls());
+    w.key("byReason").beginObject();
+    for (unsigned r = 0; r < numStallReasons; ++r) {
+        w.key(stallReasonName(static_cast<StallReason>(r)))
+            .value(totals_[r]);
+    }
+    w.endObject();
+    auto hist = [&](const char *name, const auto &rows, auto label) {
+        w.key(name).beginArray();
+        for (const auto &[key, counts] : rows) {
+            w.beginObject();
+            w.key("key").value(label(key));
+            w.key("total").value(rowTotal(counts));
+            for (unsigned r = 0; r < numStallReasons; ++r) {
+                w.key(stallReasonName(static_cast<StallReason>(r)))
+                    .value(counts[r]);
+            }
+            w.endObject();
+        }
+        w.endArray();
+    };
+    hist("perPc", perPc_, [&](std::uint32_t pc) {
+        return pc == traceNoPc ? std::string("(no subwarp)")
+                               : std::to_string(pc) +
+                                     (prog && pc < prog->size()
+                                          ? std::string(" ") +
+                                                opcodeName(prog->at(pc).op)
+                                          : std::string());
+    });
+    hist("perOpcode", perOpcode_,
+         [&](std::uint32_t op) { return std::string(opcodeLabel(op)); });
+    w.endObject();
+    return w.take();
+}
+
+} // namespace si

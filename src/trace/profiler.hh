@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Stall-attribution profiler: folds StallCycle trace events into
+ * per-reason totals plus per-PC and per-opcode histograms of lost
+ * issue slots, bucketed by the paper's Figure 3 stall reasons. The
+ * per-reason totals reconcile exactly with the SmStats warp-status
+ * counters (see StallReason in trace/events.hh for the equations) —
+ * test_trace.cc asserts the identity on every run.
+ */
+
+#ifndef SI_TRACE_PROFILER_HH
+#define SI_TRACE_PROFILER_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/events.hh"
+
+namespace si {
+
+class Program;
+
+/**
+ * Streaming or offline stall folder. Install as (part of) the trace
+ * sink to aggregate during the run, or feed a recorded event vector to
+ * fold() afterwards.
+ */
+class StallProfiler : public TraceSink
+{
+  public:
+    /** Lost-slot counts indexed by StallReason. */
+    using ReasonCounts = std::array<std::uint64_t, numStallReasons>;
+
+    void record(const TraceEvent &event) override;
+
+    /** Fold a recorded event stream (same effect as record() per event). */
+    void fold(const std::vector<TraceEvent> &events);
+
+    /** Lost issue slots attributed to @p reason. */
+    std::uint64_t total(StallReason reason) const
+    {
+        return totals_[static_cast<std::size_t>(reason)];
+    }
+
+    /** Lost issue slots across all reasons. */
+    std::uint64_t totalStalls() const;
+
+    /** Instructions issued (for context lines in the report). */
+    std::uint64_t issued() const { return issued_; }
+
+    const std::map<std::uint32_t, ReasonCounts> &perPc() const
+    {
+        return perPc_;
+    }
+    const std::map<std::uint32_t, ReasonCounts> &perOpcode() const
+    {
+        return perOpcode_;
+    }
+
+    /**
+     * Human-readable report: per-reason summary plus top-@p top_n
+     * per-PC and per-opcode breakdowns. With @p prog, PC rows carry
+     * the opcode mnemonic at that pc. Deterministic (golden-tested).
+     */
+    std::string report(const Program *prog = nullptr,
+                       std::size_t top_n = 10) const;
+
+    /** Machine-readable form of the same data ("si-stall-v1"). */
+    std::string reportJson(const Program *prog = nullptr) const;
+
+  private:
+    ReasonCounts totals_{};
+    std::uint64_t issued_ = 0;
+    /** Keyed by pc; traceNoPc collects slots with no active subwarp. */
+    std::map<std::uint32_t, ReasonCounts> perPc_;
+    /** Keyed by opcode byte; traceNoOpcode collects unattributed slots. */
+    std::map<std::uint32_t, ReasonCounts> perOpcode_;
+};
+
+} // namespace si
+
+#endif // SI_TRACE_PROFILER_HH

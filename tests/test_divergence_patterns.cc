@@ -10,6 +10,7 @@
 
 #include "core/gpu.hh"
 #include "isa/assembler.hh"
+#include "trace/sinks.hh"
 
 using namespace si;
 
@@ -216,7 +217,7 @@ EXIT
         EXPECT_EQ(m_gto.read(out + 4 * t), m_lrr.read(out + 4 * t));
 }
 
-TEST(DivergencePatterns, IssueHookSeesEveryIssue)
+TEST(DivergencePatterns, TraceSinkSeesEveryIssue)
 {
     const char *src = R"(
 MOV R1, 1
@@ -226,17 +227,20 @@ EXIT
 )";
     GpuConfig cfg;
     cfg.numSms = 1;
-    std::vector<IssueEvent> events;
-    cfg.issueHook = [&events](const IssueEvent &ev) {
-        events.push_back(ev);
-    };
+    VectorSink sink;
+    cfg.traceSink = &sink;
     Memory mem;
     const GpuResult r = simulate(cfg, mem, assembleOrDie(src), {1, 1});
+    std::vector<TraceEvent> events;
+    for (const TraceEvent &ev : sink.events()) {
+        if (ev.kind == TraceEventKind::Issue)
+            events.push_back(ev);
+    }
     ASSERT_EQ(events.size(), r.total.instrsIssued);
     ASSERT_EQ(events.size(), 4u);
     EXPECT_EQ(events[0].pc, 0u);
     EXPECT_EQ(events[3].pc, 3u);
-    EXPECT_EQ(events[0].activeMask.count(), 32u);
+    EXPECT_EQ(ThreadMask(events[0].mask).count(), 32u);
     EXPECT_EQ(events[0].warpId, 0u);
     // Cycles are monotonically nondecreasing.
     for (std::size_t i = 1; i < events.size(); ++i)

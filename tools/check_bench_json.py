@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Validate si-bench-v1 JSON emitted by the bench binaries (--json).
+
+Usage: check_bench_json.py SCHEMA.json BENCH.json [BENCH.json ...]
+
+Pure standard library — implements the small subset of JSON Schema the
+checked-in tools/bench_schema.json uses (type, const, required,
+properties, additionalProperties, items, minItems), plus one structural
+rule the schema language cannot express: every table row must have
+exactly as many cells as the table has columns.
+
+Exit status: 0 if every file validates, 1 otherwise.
+"""
+
+import json
+import sys
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def type_ok(value, name):
+    if name == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if name == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    return isinstance(value, TYPES[name])
+
+
+def validate(value, schema, path, errors):
+    """Append 'path: message' strings to errors; recurse per subset."""
+    if "const" in schema and value != schema["const"]:
+        errors.append("%s: expected %r, got %r" % (path, schema["const"], value))
+        return
+    if "type" in schema and not type_ok(value, schema["type"]):
+        errors.append(
+            "%s: expected %s, got %s" % (path, schema["type"], type(value).__name__)
+        )
+        return
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append("%s: missing required key '%s'" % (path, key))
+        props = schema.get("properties", {})
+        for key, sub in props.items():
+            if key in value:
+                validate(value[key], sub, "%s.%s" % (path, key), errors)
+        extra = schema.get("additionalProperties")
+        if isinstance(extra, dict):
+            for key, item in value.items():
+                if key not in props:
+                    validate(item, extra, "%s.%s" % (path, key), errors)
+    if isinstance(value, list):
+        if len(value) < schema.get("minItems", 0):
+            errors.append(
+                "%s: expected at least %d items, got %d"
+                % (path, schema["minItems"], len(value))
+            )
+        if "items" in schema:
+            for i, item in enumerate(value):
+                validate(item, schema["items"], "%s[%d]" % (path, i), errors)
+
+
+def check_tables(doc, errors):
+    """si-bench-v1 rule: row width == column count, per table."""
+    for t, table in enumerate(doc.get("tables", [])):
+        if not isinstance(table, dict):
+            continue
+        columns = table.get("columns", [])
+        for r, row in enumerate(table.get("rows", [])):
+            if isinstance(row, list) and len(row) != len(columns):
+                errors.append(
+                    "$.tables[%d].rows[%d]: %d cells but %d columns"
+                    % (t, r, len(row), len(columns))
+                )
+
+
+def main(argv):
+    if len(argv) < 3:
+        sys.stderr.write(
+            "usage: check_bench_json.py SCHEMA.json BENCH.json [...]\n"
+        )
+        return 1
+    with open(argv[1]) as f:
+        schema = json.load(f)
+    failed = False
+    for path in argv[2:]:
+        errors = []
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as exc:
+            errors.append("$: %s" % exc)
+            doc = None
+        if doc is not None:
+            validate(doc, schema, "$", errors)
+            check_tables(doc, errors)
+        if errors:
+            failed = True
+            for err in errors:
+                sys.stderr.write("%s: %s\n" % (path, err))
+        else:
+            print("%s: ok" % path)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

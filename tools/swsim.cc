@@ -22,7 +22,14 @@
  *                      corrupts live state mid-run and reports whether
  *                      the watchdog/checker caught it (exit 0 = caught)
  *   --stats            dump full statistics
+ *   --stats-json FILE  write machine-readable statistics (si-stats-v1);
+ *                      FILE = - writes to stdout
  *   --trace            print the per-issue timeline
+ *   --trace-out FILE   record the trace-event stream (bounded ring
+ *                      buffer) and write a Chrome trace_event JSON,
+ *                      loadable in Perfetto; written even when the run
+ *                      fails, so livelock reports come with a timeline
+ *   --trace-ring N     ring-buffer capacity in events (default 1Mi)
  *   --disasm           print the kernel listing before running
  *   --compare          also run the baseline and report the speedup
  *
@@ -42,6 +49,8 @@
 #include "harness/runner.hh"
 #include "isa/assembler.hh"
 #include "isa/stall_hints.hh"
+#include "trace/chrome_trace.hh"
+#include "trace/sinks.hh"
 
 namespace {
 
@@ -55,7 +64,46 @@ usage()
                  "[--sms N] [--slots N]\n"
                  "             [--mshrs N] [--hints] [--sched gto|lrr] "
                  "[--stats]\n"
-                 "             [--trace] [--disasm] [--compare]\n");
+                 "             [--stats-json FILE] [--trace] "
+                 "[--trace-out FILE]\n"
+                 "             [--trace-ring N] [--disasm] [--compare]\n");
+}
+
+/** --trace: print each issue as it happens. */
+class PrintSink : public si::TraceSink
+{
+  public:
+    explicit PrintSink(const si::Program &prog) : prog_(prog) {}
+
+    void
+    record(const si::TraceEvent &ev) override
+    {
+        if (ev.kind != si::TraceEventKind::Issue)
+            return;
+        std::printf("  %8llu sm%u w%-3u %2u lanes  pc %3u  %s\n",
+                    static_cast<unsigned long long>(ev.cycle), ev.smId,
+                    ev.warpId, si::ThreadMask(ev.mask).count(), ev.pc,
+                    prog_.at(ev.pc).disasm().c_str());
+    }
+
+  private:
+    const si::Program &prog_;
+};
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    if (path == "-") {
+        std::fwrite(content.data(), 1, content.size(), stdout);
+        return true;
+    }
+    std::ofstream f(path, std::ios::binary);
+    if (!f) {
+        std::fprintf(stderr, "swsim: cannot write '%s'\n", path.c_str());
+        return false;
+    }
+    f << content;
+    return bool(f);
 }
 
 bool
@@ -84,10 +132,12 @@ main(int argc, char **argv)
     si::GpuConfig cfg;
     unsigned warps = 4;
     unsigned mshrs = 0;
+    unsigned trace_ring = 1u << 20;
     bool si_on = false, yield = false, hints = false;
     bool dump_stats = false, trace = false, disasm = false;
     bool compare = false;
     bool inject = false;
+    std::string stats_json_path, trace_out_path;
     si::FaultKind fault_kind = si::FaultKind::ScoreboardCorruption;
 
     for (int i = 2; i < argc; ++i) {
@@ -173,8 +223,22 @@ main(int argc, char **argv)
             inject = true;
         } else if (a == "--stats") {
             dump_stats = true;
+        } else if (a == "--stats-json") {
+            if (i + 1 >= argc) {
+                usage();
+                return 1;
+            }
+            stats_json_path = argv[++i];
         } else if (a == "--trace") {
             trace = true;
+        } else if (a == "--trace-out") {
+            if (i + 1 >= argc) {
+                usage();
+                return 1;
+            }
+            trace_out_path = argv[++i];
+        } else if (a == "--trace-ring") {
+            next_uint(trace_ring);
         } else if (a == "--disasm") {
             disasm = true;
         } else if (a == "--compare") {
@@ -215,14 +279,32 @@ main(int argc, char **argv)
     cfg.siEnabled = si_on;
     cfg.yieldEnabled = yield;
     cfg.maxOutstandingMisses = mshrs;
-    if (trace) {
-        cfg.issueHook = [&prog](const si::IssueEvent &ev) {
-            std::printf("  %8llu sm%u w%-3u %2u lanes  pc %3u  %s\n",
-                        static_cast<unsigned long long>(ev.cycle),
-                        ev.smId, ev.warpId, ev.activeMask.count(),
-                        ev.pc, prog.at(ev.pc).disasm().c_str());
-        };
-    }
+
+    // Trace plumbing: print-as-you-go and/or record into a bounded ring
+    // buffer for the Chrome-trace export.
+    PrintSink print_sink(prog);
+    si::RingBufferSink ring(trace_ring);
+    si::TeeSink tee(print_sink, ring);
+    const bool record = !trace_out_path.empty();
+    if (trace && record)
+        cfg.traceSink = &tee;
+    else if (trace)
+        cfg.traceSink = &print_sink;
+    else if (record)
+        cfg.traceSink = &ring;
+
+    auto write_trace = [&]() {
+        if (!record)
+            return;
+        if (writeFile(trace_out_path,
+                      si::chromeTraceJson(ring.snapshot(), &prog))) {
+            std::fprintf(
+                stderr, "trace: %s (%llu events, %llu dropped)\n",
+                trace_out_path.c_str(),
+                static_cast<unsigned long long>(ring.snapshot().size()),
+                static_cast<unsigned long long>(ring.dropped()));
+        }
+    };
 
     if (inject) {
         // Fault-injection mode: corrupt the machine mid-run and report
@@ -233,6 +315,7 @@ main(int argc, char **argv)
         const std::vector<si::CampaignRun> runs = si::runCampaign(
             prog, {warps, 4}, mem, cfg, specs);
         const si::CampaignRun &run = runs.front();
+        write_trace(); // the campaign timeline, including FaultInject
         if (!run.injected) {
             std::fprintf(stderr,
                          "swsim: no %s injection point reached\n",
@@ -256,6 +339,9 @@ main(int argc, char **argv)
     si::Memory mem;
     const si::GpuResult r =
         si::simulate(cfg, mem, prog, {warps, 4});
+    write_trace();
+    if (!stats_json_path.empty())
+        writeFile(stats_json_path, si::statsJson(r, prog.name()));
     if (!r.ok()) {
         std::fprintf(stderr, "swsim: run failed [%s]: %s\n",
                      si::errorKindName(r.status.kind),
@@ -280,7 +366,7 @@ main(int argc, char **argv)
         base.siEnabled = false;
         base.yieldEnabled = false;
         base.dwsEnabled = false;
-        base.issueHook = nullptr;
+        base.traceSink = nullptr;
         si::Memory mem2;
         const si::GpuResult rb = si::simulate(base, mem2, prog,
                                               {warps, 4});
