@@ -16,6 +16,7 @@
 
 #include "common/json.hh"
 #include "common/log.hh"
+#include "harness/campaign.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
 #include "rt/apps.hh"
@@ -33,22 +34,43 @@ namespace si::bench {
 class BenchJson
 {
   public:
-    BenchJson(std::string bench, int argc, char **argv)
+    /**
+     * @param campaign_capable benches that route their sweep through the
+     * crash-resumable campaign runner pass true to additionally accept
+     * --campaign-state DIR and --campaign-resume.
+     */
+    BenchJson(std::string bench, int argc, char **argv,
+              bool campaign_capable = false)
         : bench_(std::move(bench))
     {
         for (int i = 1; i < argc; ++i) {
             const std::string a = argv[i];
             if (a == "--json" && i + 1 < argc) {
                 path_ = argv[++i];
+            } else if (campaign_capable && a == "--campaign-state" &&
+                       i + 1 < argc) {
+                campaign_dir_ = argv[++i];
+            } else if (campaign_capable && a == "--campaign-resume") {
+                campaign_resume_ = true;
             } else {
                 std::fprintf(stderr,
                              "%s: unknown option '%s' "
-                             "(supported: --json FILE)\n",
-                             bench_.c_str(), a.c_str());
+                             "(supported: --json FILE%s)\n",
+                             bench_.c_str(), a.c_str(),
+                             campaign_capable
+                                 ? ", --campaign-state DIR, "
+                                   "--campaign-resume"
+                                 : "");
                 std::exit(1);
             }
         }
     }
+
+    /** Campaign state directory ("" = run the sweep in-process). */
+    const std::string &campaignDir() const { return campaign_dir_; }
+
+    /** Continue the campaign recorded in campaignDir(). */
+    bool campaignResume() const { return campaign_resume_; }
 
     /** Record a printed table (serialized immediately). */
     void table(const TablePrinter &t) { tables_.push_back(t.json()); }
@@ -97,6 +119,8 @@ class BenchJson
   private:
     std::string bench_;
     std::string path_;
+    std::string campaign_dir_;
+    bool campaign_resume_ = false;
     std::vector<std::string> tables_; ///< pre-serialized JSON objects
     std::vector<std::pair<std::string, double>> metrics_;
 };
@@ -166,6 +190,72 @@ sweepAllApps(const GpuConfig &base_config)
             continue;
         }
         std::fprintf(stderr, "  [swept %s]\n", s.name.c_str());
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+/**
+ * Crash-resumable variant of sweepAllApps: the same suite x {baseline +
+ * six SI points} grid, but every cell runs in a forked child under the
+ * campaign runner — wall budgets, retries, auto-checkpoints, and an
+ * si-campaign-v1 manifest in @p state_dir. Kill the bench at any
+ * instant and rerun with @p resume to finish the remaining cells;
+ * terminal cells are adopted, not re-simulated. Speedup math needs only
+ * cycle counts, which the manifest records, so the rebuilt sweeps feed
+ * the same table code as the in-process path. An app with any failed
+ * cell is skipped with a note, like sweepAllApps.
+ */
+inline std::vector<AppSweep>
+sweepAllAppsCampaign(const GpuConfig &base_config,
+                     const std::string &state_dir, bool resume)
+{
+    std::vector<Workload> suite;
+    for (AppId id : allApps())
+        suite.push_back(buildApp(id));
+
+    std::vector<std::pair<std::string, GpuConfig>> configs;
+    configs.emplace_back("baseline", base_config);
+    for (const auto &pt : siConfigPoints())
+        configs.emplace_back(pt.label, withSi(base_config, pt));
+
+    CampaignOptions opts;
+    opts.stateDir = state_dir;
+    opts.resume = resume;
+    CampaignRunner runner(std::move(suite), std::move(configs), opts);
+    const CampaignReport report = runner.run();
+    std::fprintf(stderr, "  [campaign: %u done, %u failed; manifest %s]\n",
+                 report.numDone(), report.numFailed(),
+                 report.manifestPath.c_str());
+
+    std::vector<AppSweep> out;
+    for (AppId id : allApps()) {
+        const std::string name = buildApp(id).name;
+        AppSweep s;
+        s.name = name;
+        for (const CampaignCellRecord &cell : report.cells) {
+            if (cell.workload != name)
+                continue;
+            if (!cell.done()) {
+                if (s.failure.empty()) {
+                    s.failure = cell.configLabel + ": " + cell.detail +
+                                " [" + cell.diagnosis + "]";
+                }
+                continue;
+            }
+            GpuResult r;
+            r.cycles = cell.cycles;
+            if (cell.configLabel == "baseline")
+                s.base = r;
+            else
+                s.si.push_back(r);
+        }
+        if (!s.ok() || s.si.size() != siConfigPoints().size()) {
+            std::fprintf(stderr, "  [SKIPPED %s: %s]\n", s.name.c_str(),
+                         s.failure.empty() ? "incomplete cells"
+                                           : s.failure.c_str());
+            continue;
+        }
         out.push_back(std::move(s));
     }
     return out;

@@ -15,10 +15,18 @@ int
 main(int argc, char **argv)
 {
     si::verboseLogging = false;
-    si::bench::BenchJson bj("fig12a_speedup", argc, argv);
+    si::bench::BenchJson bj("fig12a_speedup", argc, argv,
+                            /*campaign_capable=*/true);
     const si::GpuConfig base = si::baselineConfig();
     const auto &points = si::siConfigPoints();
-    const auto sweeps = si::bench::sweepAllApps(base);
+    // --campaign-state routes the sweep through the crash-resumable
+    // campaign runner (forked cells, resumable manifest); the default
+    // path runs in-process as before.
+    const auto sweeps =
+        bj.campaignDir().empty()
+            ? si::bench::sweepAllApps(base)
+            : si::bench::sweepAllAppsCampaign(base, bj.campaignDir(),
+                                              bj.campaignResume());
 
     si::TablePrinter t("Figure 12a: speedup over baseline (lat=600)");
     std::vector<std::string> hdr = {"trace"};

@@ -8,7 +8,10 @@
 # differential sweep with static/dynamic cross-checking (--verify).
 # The Release pass additionally exercises the machine-readable
 # exporters: a bench --json run validated against the checked-in
-# si-bench-v1 schema, and a swprof trace + stall-report export.
+# si-bench-v1 schema, and a swprof trace + stall-report export. It also
+# runs the campaign soak: a short sweep under fault injection with a
+# forced mid-campaign restart, whose resumable si-campaign-v1 manifest
+# is validated against tools/campaign_schema.json.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -72,8 +75,41 @@ check_exports() {
     fi
 }
 
+# Robustness soak: a campaign where every cell's first attempt has a
+# live fault injected (the retry must recover), killed after three cells
+# to force a mid-campaign restart. The resumed leg must converge to a
+# complete all-done manifest that validates against the checked-in
+# si-campaign-v1 schema.
+check_campaign_soak() {
+    local dir=$1
+    local state="$dir/artifacts/soak-campaign"
+    rm -rf "$state"
+    echo "=== campaign soak $dir (fault injection + forced restart)"
+    local rc=0
+    "$dir/tools/swsim" kernels/fig9.sasm --warps 8 \
+        --campaign-state "$state" --campaign-inject scoreboard \
+        --checkpoint-every 200 --campaign-cells 3 \
+        --campaign-timeout 60 > /dev/null || rc=$?
+    if [[ $rc -ne 2 ]]; then
+        echo "soak: first leg should stop with cells left (exit 2)," \
+             "got exit $rc" >&2
+        exit 1
+    fi
+    "$dir/tools/swsim" kernels/fig9.sasm --warps 8 \
+        --campaign-state "$state" --campaign-resume \
+        --campaign-inject scoreboard --checkpoint-every 200 \
+        --campaign-timeout 60
+    if command -v python3 >/dev/null 2>&1; then
+        python3 tools/check_bench_json.py tools/campaign_schema.json \
+            "$state/campaign.json"
+    else
+        echo "=== python3 not installed; skipping the manifest schema gate"
+    fi
+}
+
 run build-release -DCMAKE_BUILD_TYPE=Release
 check_exports build-release
+check_campaign_soak build-release
 run build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSI_SANITIZE=address,undefined
 run build-notrace -DCMAKE_BUILD_TYPE=Release -DSI_TRACE=OFF
 

@@ -10,6 +10,7 @@
 #ifndef SI_COMMON_RNG_HH
 #define SI_COMMON_RNG_HH
 
+#include <array>
 #include <cstdint>
 
 namespace si {
@@ -79,6 +80,27 @@ class Rng
     chance(float p)
     {
         return uniform() < p;
+    }
+
+    // ---- stream-position round-tripping (checkpoint/restore) ----
+    //
+    // The seed alone cannot reproduce a mid-stream position (xoshiro has
+    // no cheap O(1) discard), so snapshotting a component that owns an
+    // Rng requires direct access to the four state words.
+
+    /** The full generator state; restoring it replays the stream. */
+    std::array<std::uint64_t, 4>
+    state() const
+    {
+        return {state_[0], state_[1], state_[2], state_[3]};
+    }
+
+    /** Restore a state captured by state(). */
+    void
+    setState(const std::array<std::uint64_t, 4> &s)
+    {
+        for (unsigned i = 0; i < 4; ++i)
+            state_[i] = s[i];
     }
 
   private:

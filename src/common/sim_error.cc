@@ -18,8 +18,51 @@ errorKindName(ErrorKind kind)
       case ErrorKind::InvariantViolation: return "invariant-violation";
       case ErrorKind::CycleLimit: return "cycle-limit";
       case ErrorKind::WallClock: return "wall-clock";
+      case ErrorKind::ChildTimeout: return "child-timeout";
+      case ErrorKind::ChildCrash: return "child-crash";
+      case ErrorKind::Snapshot: return "snapshot";
     }
     return "unknown";
+}
+
+const char *
+errorDetectorName(ErrorKind kind)
+{
+    switch (kind) {
+      case ErrorKind::Livelock:
+        return "forward-progress watchdog";
+      case ErrorKind::BarrierDeadlock:
+        return "barrier deadlock check";
+      case ErrorKind::InvariantViolation:
+        return "invariant checker";
+      case ErrorKind::CycleLimit:
+        return "runaway-cycle watchdog";
+      case ErrorKind::WallClock:
+        return "in-process wall-clock budget";
+      case ErrorKind::ChildTimeout:
+        return "campaign child timeout";
+      case ErrorKind::ChildCrash:
+        return "campaign child exit status";
+      default:
+        return "run-boundary error handling";
+    }
+}
+
+bool
+errorKindIsTransient(ErrorKind kind, bool fault_injection_active)
+{
+    switch (kind) {
+      case ErrorKind::ChildTimeout:
+      case ErrorKind::ChildCrash:
+      case ErrorKind::WallClock:
+        return true;
+      case ErrorKind::Livelock:
+      case ErrorKind::InvariantViolation:
+      case ErrorKind::CycleLimit:
+        return fault_injection_active;
+      default:
+        return false;
+    }
 }
 
 std::string

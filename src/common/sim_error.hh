@@ -26,11 +26,35 @@ enum class ErrorKind : std::uint8_t {
     Livelock,           ///< no instruction retired and nothing in flight
     InvariantViolation, ///< opt-in state audit found corruption
     CycleLimit,         ///< runaway: GpuConfig::maxCycles exceeded
-    WallClock,          ///< harness wall-clock budget exceeded
+    WallClock,          ///< in-process wall-clock budget exceeded
+    ChildTimeout,       ///< campaign cell process killed by the parent's
+                        ///< wall-clock budget (distinct from the
+                        ///< simulator's own forward-progress watchdog)
+    ChildCrash,         ///< campaign cell process died on a signal
+    Snapshot,           ///< corrupt/mismatched checkpoint container
 };
 
 /** Short stable name for an ErrorKind ("barrier-deadlock", ...). */
 const char *errorKindName(ErrorKind kind);
+
+/**
+ * Which fault-tolerance mechanism produces this classification — e.g.
+ * "forward-progress watchdog" for Livelock vs "campaign child timeout"
+ * for ChildTimeout. Splits the historically conflated timeout-ish kinds
+ * in diagnostics (swsim --inject, campaign reports).
+ */
+const char *errorDetectorName(ErrorKind kind);
+
+/**
+ * True for failures worth a bounded retry in a sweep campaign: the
+ * child process crashed or overran its wall budget, the in-process
+ * wall-clock budget fired, or — only while fault injection is active —
+ * a detector tripped (watchdog, invariant checker, cycle cap), since
+ * the injected fault is gone on the next attempt. Deterministic
+ * failures (config, parse, barrier deadlock, snapshot corruption)
+ * never retry: they would fail identically every time.
+ */
+bool errorKindIsTransient(ErrorKind kind, bool fault_injection_active);
 
 /**
  * Outcome of one kernel run. Default-constructed means success; a failed

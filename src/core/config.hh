@@ -35,6 +35,15 @@ using FaultHook = std::function<void(Gpu &, Cycle)>;
 using CancelHook = std::function<bool()>;
 
 /**
+ * Optional checkpoint hook, fired every checkpointInterval cycles at the
+ * top of the run loop — a cycle boundary where no SM has ticked yet, so
+ * Gpu::save() captures a state the resume path can re-enter bit-exactly.
+ * The campaign runner uses it for periodic auto-checkpoints; the
+ * determinism validator uses it to freeze a mid-run state to replay.
+ */
+using CheckpointHook = std::function<void(const Gpu &, Cycle)>;
+
+/**
  * When subwarp-select may demote a stalled ACTIVE subwarp, expressed as
  * the paper's knob over N = fraction of stalled warps among live warps
  * in a processing block (Section III-C-3).
@@ -180,6 +189,12 @@ struct GpuConfig
     /** Cancellation poll for wall-clock budgets (null = disabled). */
     CancelHook cancelHook;
     std::uint64_t cancelCheckInterval = 8192;
+
+    /** Checkpoint hook (null = disabled; see CheckpointHook). */
+    CheckpointHook checkpointHook;
+
+    /** Cycles between checkpointHook firings (0 = disabled). */
+    std::uint64_t checkpointInterval = 0;
 
     /**
      * Trace event consumer (null = tracing off). Non-owning; must

@@ -1,12 +1,81 @@
 #include "core/gpu.hh"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/log.hh"
 #include "common/sim_error.hh"
+#include "snapshot/snapshot.hh"
 #include "trace/events.hh"
 
 namespace si {
+
+namespace {
+
+void
+hashCacheConfig(Fnv1a &h, const CacheConfig &c)
+{
+    h.update(c.name);
+    h.update(c.sizeBytes);
+    h.update(std::uint64_t(c.lineBytes));
+    h.update(std::uint64_t(c.assoc));
+}
+
+} // namespace
+
+std::uint64_t
+configFingerprint(const GpuConfig &c)
+{
+    Fnv1a h;
+    h.update(std::uint64_t(c.numSms));
+    h.update(std::uint64_t(c.pbsPerSm));
+    h.update(std::uint64_t(c.warpSlotsPerPb));
+    h.update(std::uint64_t(c.regFilePerPb));
+    hashCacheConfig(h, c.l1d);
+    hashCacheConfig(h, c.l1i);
+    hashCacheConfig(h, c.l0i);
+    h.update(c.lat.alu);
+    h.update(c.lat.heavyAlu);
+    h.update(c.lat.transcendental);
+    h.update(c.lat.constLoad);
+    h.update(c.lat.l1Hit);
+    h.update(c.lat.l1Miss);
+    h.update(c.lat.texBase);
+    h.update(c.lat.l0iMiss);
+    h.update(c.lat.l1iMiss);
+    h.update(c.rtc.baseLatency);
+    std::uint32_t node_bits;
+    std::memcpy(&node_bits, &c.rtc.cyclesPerNode, sizeof(node_bits));
+    h.update(std::uint64_t(node_bits));
+    h.update(std::uint64_t(c.rtc.numPipes));
+    h.update(std::uint64_t(c.numScoreboards));
+    h.update(std::uint64_t(c.maxOutstandingMisses));
+    h.update(std::uint64_t(c.siEnabled));
+    h.update(std::uint64_t(c.yieldEnabled));
+    h.update(std::uint64_t(c.yieldThreshold));
+    h.update(std::uint64_t(c.trigger));
+    h.update(std::uint64_t(c.maxSubwarps));
+    h.update(c.switchLatency);
+    h.update(std::uint64_t(c.dwsEnabled));
+    h.update(std::uint64_t(c.sched));
+    h.update(std::uint64_t(c.divergeOrder));
+    h.update(c.rngSeed);
+    h.update(c.maxCycles);
+    h.update(c.livelockCycles);
+    h.update(std::uint64_t(c.checkInvariants));
+    h.update(c.invariantCheckInterval);
+    return h.digest();
+}
+
+std::uint64_t
+programFingerprint(const Program &p)
+{
+    Fnv1a h;
+    h.update(p.name());
+    h.update(std::uint64_t(p.numRegs()));
+    h.update(p.sourceText());
+    return h.digest();
+}
 
 Gpu::Gpu(const GpuConfig &config, Memory &memory, const Bvh *scene)
     : config_(config), memory_(memory), scene_(scene)
@@ -24,134 +93,148 @@ Gpu::run(const Program &program, const LaunchParams &launch)
     return runMulti({KernelLaunch{&program, launch}});
 }
 
-GpuResult
-Gpu::runMulti(const std::vector<KernelLaunch> &kernels)
+void
+Gpu::launchKernels(const std::vector<KernelLaunch> &kernels)
 {
-    GpuResult result;
-    Cycle now = 0;
-    try {
-        sim_throw_if(kernels.empty(), ErrorKind::Config,
-                     "no kernels to launch");
-        unsigned max_warps = 0;
-        for (const auto &k : kernels) {
-            sim_throw_if(k.program == nullptr, ErrorKind::Config,
-                         "kernel without a program");
-            k.program->validate();
-            sim_throw_if(k.launch.numWarps == 0, ErrorKind::Config,
-                         "launch with zero warps");
-            sim_throw_if(k.launch.warpsPerCta == 0, ErrorKind::Config,
-                         "warpsPerCta must be nonzero");
-            max_warps = std::max(max_warps, k.launch.numWarps);
-        }
-
-        // Interleave warps across kernels so co-scheduled queues contend
-        // for slots from the start, then round-robin across SMs.
-        unsigned wid = 0;
-        for (unsigned i = 0; i < max_warps; ++i) {
-            for (const auto &k : kernels) {
-                if (i >= k.launch.numWarps)
-                    continue;
-                auto warp =
-                    std::make_unique<Warp>(wid, 0, k.program, warpSize);
-                warp->logicalId = i;
-                warp->ctaId = i / k.launch.warpsPerCta;
-                sms_[wid % sms_.size()]->addWarp(std::move(warp));
-                ++wid;
-            }
-        }
-
-        // Forward-progress tracking: cycles since the last issue
-        // anywhere on the GPU. A long quiet spell is only a livelock
-        // when no writeback is in flight — pending events always fire
-        // at a bounded future cycle, so a stalled-but-live machine
-        // keeps its wakeups queued.
-        std::uint64_t last_issued = 0;
-        Cycle last_progress = 0;
-        while (true) {
-            bool all_done = true;
-            for (auto &sm : sms_) {
-                if (!sm->done()) {
-                    all_done = false;
-                    break;
-                }
-            }
-            if (all_done)
-                break;
-            if (now >= config_.maxCycles) {
-                result.timedOut = true;
-                warn("kernel '%s' hit the %llu-cycle watchdog",
-                     kernels.front().program->name().c_str(),
-                     static_cast<unsigned long long>(config_.maxCycles));
-                result.status = RunStatus::failure(
-                    ErrorKind::CycleLimit,
-                    "kernel '" + kernels.front().program->name() +
-                        "' exceeded the " +
-                        std::to_string(config_.maxCycles) + "-cycle cap");
-                break;
-            }
-
-            if (config_.faultHook)
-                (config_.faultHook)(*this, now);
-
-            if (config_.cancelHook &&
-                now % config_.cancelCheckInterval == 0 &&
-                (config_.cancelHook)()) {
-                throw SimError(ErrorKind::WallClock,
-                               "run cancelled (wall-clock budget "
-                               "exhausted) at cycle " +
-                                   std::to_string(now));
-            }
-
-            for (auto &sm : sms_)
-                sm->tick(now);
-            ++now;
-
-            std::uint64_t issued = 0;
-            bool events_pending = false;
-            for (const auto &sm : sms_) {
-                issued += sm->stats().instrsIssued;
-                events_pending |= sm->hasPendingWritebacks();
-            }
-            if (issued != last_issued || events_pending) {
-                last_issued = issued;
-                last_progress = now;
-            } else if (config_.livelockCycles &&
-                       now - last_progress >= config_.livelockCycles) {
-                std::string dump;
-                for (const auto &sm : sms_)
-                    dump += sm->dumpState();
-                throw SimError(
-                    ErrorKind::Livelock,
-                    "no instruction issued and no writeback in flight "
-                    "for " +
-                        std::to_string(now - last_progress) +
-                        " cycles (cycle " + std::to_string(now) + ")",
-                    dump);
-            }
-
-            if (config_.checkInvariants &&
-                now % config_.invariantCheckInterval == 0) {
-                for (const auto &sm : sms_) {
-                    std::string violation = sm->auditInvariants();
-                    if (!violation.empty()) {
-                        throw SimError(ErrorKind::InvariantViolation,
-                                       "invariant audit failed at cycle " +
-                                           std::to_string(now),
-                                       violation);
-                    }
-                }
-            }
-        }
-    } catch (const SimError &e) {
-        result.status = e.status();
+    sim_throw_if(kernels.empty(), ErrorKind::Config,
+                 "no kernels to launch");
+    unsigned max_warps = 0;
+    for (const auto &k : kernels) {
+        sim_throw_if(k.program == nullptr, ErrorKind::Config,
+                     "kernel without a program");
+        k.program->validate();
+        sim_throw_if(k.launch.numWarps == 0, ErrorKind::Config,
+                     "launch with zero warps");
+        sim_throw_if(k.launch.warpsPerCta == 0, ErrorKind::Config,
+                     "warpsPerCta must be nonzero");
+        max_warps = std::max(max_warps, k.launch.numWarps);
     }
+    kernels_ = kernels;
+    now_ = 0;
+    lastIssued_ = 0;
+    lastProgress_ = 0;
 
+    // Interleave warps across kernels so co-scheduled queues contend
+    // for slots from the start, then round-robin across SMs.
+    unsigned wid = 0;
+    for (unsigned i = 0; i < max_warps; ++i) {
+        for (const auto &k : kernels) {
+            if (i >= k.launch.numWarps)
+                continue;
+            auto warp =
+                std::make_unique<Warp>(wid, 0, k.program, warpSize);
+            warp->logicalId = i;
+            warp->ctaId = i / k.launch.warpsPerCta;
+            sms_[wid % sms_.size()]->addWarp(std::move(warp));
+            ++wid;
+        }
+    }
+}
+
+void
+Gpu::runLoop(GpuResult &result)
+{
+    // Forward-progress tracking: cycles since the last issue anywhere
+    // on the GPU. A long quiet spell is only a livelock when no
+    // writeback is in flight — pending events always fire at a bounded
+    // future cycle, so a stalled-but-live machine keeps its wakeups
+    // queued. The counters are members so a checkpoint freezes them
+    // with the rest of the machine and a resumed run re-enters this
+    // loop exactly where the checkpoint left it.
+    while (true) {
+        bool all_done = true;
+        for (auto &sm : sms_) {
+            if (!sm->done()) {
+                all_done = false;
+                break;
+            }
+        }
+        if (all_done)
+            break;
+        if (now_ >= config_.maxCycles) {
+            result.timedOut = true;
+            warn("kernel '%s' hit the %llu-cycle watchdog",
+                 kernels_.front().program->name().c_str(),
+                 static_cast<unsigned long long>(config_.maxCycles));
+            result.status = RunStatus::failure(
+                ErrorKind::CycleLimit,
+                "kernel '" + kernels_.front().program->name() +
+                    "' exceeded the " +
+                    std::to_string(config_.maxCycles) + "-cycle cap");
+            break;
+        }
+
+        // Checkpoint before any other hook mutates or observes state:
+        // what save() captures here is exactly what a resumed loop sees
+        // on its first iteration.
+        if (config_.checkpointHook && config_.checkpointInterval &&
+            now_ != 0 && now_ % config_.checkpointInterval == 0) {
+            (config_.checkpointHook)(*this, now_);
+        }
+
+        if (config_.faultHook)
+            (config_.faultHook)(*this, now_);
+
+        if (config_.cancelHook &&
+            now_ % config_.cancelCheckInterval == 0 &&
+            (config_.cancelHook)()) {
+            throw SimError(ErrorKind::WallClock,
+                           "run cancelled (wall-clock budget "
+                           "exhausted) at cycle " +
+                               std::to_string(now_));
+        }
+
+        for (auto &sm : sms_)
+            sm->tick(now_);
+        ++now_;
+
+        std::uint64_t issued = 0;
+        bool events_pending = false;
+        for (const auto &sm : sms_) {
+            issued += sm->stats().instrsIssued;
+            events_pending |= sm->hasPendingWritebacks();
+        }
+        if (issued != lastIssued_ || events_pending) {
+            lastIssued_ = issued;
+            lastProgress_ = now_;
+        } else if (config_.livelockCycles &&
+                   now_ - lastProgress_ >= config_.livelockCycles) {
+            std::string dump;
+            for (const auto &sm : sms_)
+                dump += sm->dumpState();
+            throw SimError(
+                ErrorKind::Livelock,
+                "no instruction issued and no writeback in flight "
+                "for " +
+                    std::to_string(now_ - lastProgress_) +
+                    " cycles (cycle " + std::to_string(now_) + ")",
+                dump);
+        }
+
+        if (config_.checkInvariants &&
+            now_ % config_.invariantCheckInterval == 0) {
+            for (const auto &sm : sms_) {
+                std::string violation = sm->auditInvariants();
+                if (!violation.empty()) {
+                    throw SimError(ErrorKind::InvariantViolation,
+                                   "invariant audit failed at cycle " +
+                                       std::to_string(now_),
+                                   violation);
+                }
+            }
+        }
+    }
+}
+
+void
+Gpu::finalize(GpuResult &result)
+{
     // Always-on tier: a failed run stamps its timeline with the watchdog
     // verdict, so livelock/deadlock reports come with trace context.
     if (!result.status.ok()) {
         if (TraceSink *sink = config_.traceSink) {
             TraceEvent ev;
-            ev.cycle = now;
+            ev.cycle = now_;
             ev.arg = std::uint32_t(result.status.kind);
             ev.kind = TraceEventKind::Watchdog;
             sink->record(ev);
@@ -164,7 +247,113 @@ Gpu::runMulti(const std::vector<KernelLaunch> &kernels)
         result.total.accumulate(sm->stats());
     }
     result.cycles = result.total.cycles;
+}
+
+GpuResult
+Gpu::runMulti(const std::vector<KernelLaunch> &kernels)
+{
+    GpuResult result;
+    try {
+        launchKernels(kernels);
+        runLoop(result);
+    } catch (const SimError &e) {
+        result.status = e.status();
+    }
+    finalize(result);
     return result;
+}
+
+GpuResult
+Gpu::resumeMulti(const std::vector<KernelLaunch> &kernels,
+                 SnapshotReader &reader)
+{
+    GpuResult result;
+    try {
+        launchKernels(kernels);
+        restore(reader);
+        runLoop(result);
+    } catch (const SimError &e) {
+        result.status = e.status();
+    }
+    finalize(result);
+    return result;
+}
+
+void
+Gpu::save(SnapshotWriter &w) const
+{
+    w.tag(SnapTag::Meta);
+    w.u64(configFingerprint(config_));
+    w.u64(kernels_.size());
+    for (const KernelLaunch &k : kernels_) {
+        w.str(k.program->name());
+        w.u64(programFingerprint(*k.program));
+        w.u32(k.launch.numWarps);
+        w.u32(k.launch.warpsPerCta);
+    }
+
+    w.tag(SnapTag::Clock);
+    w.u64(now_);
+    w.u64(lastIssued_);
+    w.u64(lastProgress_);
+
+    memory_.save(w);
+
+    w.u64(sms_.size());
+    for (const auto &sm : sms_)
+        sm->save(w);
+
+    w.tag(SnapTag::End);
+}
+
+void
+Gpu::restore(SnapshotReader &r)
+{
+    r.tag(SnapTag::Meta);
+    const std::uint64_t cfg_fp = r.u64();
+    sim_throw_if(cfg_fp != configFingerprint(config_), ErrorKind::Snapshot,
+                 "checkpoint was taken under a different configuration "
+                 "(fingerprint %016llx, ours %016llx)",
+                 static_cast<unsigned long long>(cfg_fp),
+                 static_cast<unsigned long long>(
+                     configFingerprint(config_)));
+    const std::uint64_t num_kernels = r.u64();
+    sim_throw_if(num_kernels != kernels_.size(), ErrorKind::Snapshot,
+                 "checkpoint has %llu kernels, launch has %zu",
+                 static_cast<unsigned long long>(num_kernels),
+                 kernels_.size());
+    for (const KernelLaunch &k : kernels_) {
+        const std::string name = r.str();
+        const std::uint64_t prog_fp = r.u64();
+        const unsigned num_warps = r.u32();
+        const unsigned warps_per_cta = r.u32();
+        sim_throw_if(name != k.program->name() ||
+                         prog_fp != programFingerprint(*k.program) ||
+                         num_warps != k.launch.numWarps ||
+                         warps_per_cta != k.launch.warpsPerCta,
+                     ErrorKind::Snapshot,
+                     "checkpoint kernel '%s' does not match launched "
+                     "kernel '%s' (program or geometry changed since "
+                     "the checkpoint)",
+                     name.c_str(), k.program->name().c_str());
+    }
+
+    r.tag(SnapTag::Clock);
+    now_ = r.u64();
+    lastIssued_ = r.u64();
+    lastProgress_ = r.u64();
+
+    memory_.restore(r);
+
+    const std::uint64_t num_sms = r.u64();
+    sim_throw_if(num_sms != sms_.size(), ErrorKind::Snapshot,
+                 "checkpoint has %llu SMs, machine has %zu",
+                 static_cast<unsigned long long>(num_sms), sms_.size());
+    for (auto &sm : sms_)
+        sm->restore(r);
+
+    r.tag(SnapTag::End);
+    r.expectEnd();
 }
 
 GpuResult

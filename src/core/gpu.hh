@@ -15,6 +15,9 @@
 
 namespace si {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** Kernel launch geometry. */
 struct LaunchParams
 {
@@ -102,6 +105,35 @@ class Gpu
      */
     GpuResult runMulti(const std::vector<KernelLaunch> &kernels);
 
+    /**
+     * Resume a run frozen by a checkpoint: re-run the launch of
+     * @p kernels (which must match the checkpointed launch — programs
+     * are verified by source fingerprint, never serialized), overwrite
+     * all machine state from @p reader, and continue the clock loop
+     * from the checkpointed cycle. A run resumed this way is bit-exact
+     * with one that was never interrupted.
+     */
+    GpuResult resumeMulti(const std::vector<KernelLaunch> &kernels,
+                          SnapshotReader &reader);
+
+    /**
+     * Serialize the complete machine into @p writer: config and kernel
+     * fingerprints, clock-loop counters, the functional memory image,
+     * and every SM. Valid at any cycle boundary (the checkpoint hook's
+     * firing point).
+     */
+    void save(SnapshotWriter &writer) const;
+
+    /**
+     * Restore state serialized by save(). Warps must already exist (the
+     * resume path re-runs the launch first); config or kernel
+     * fingerprint mismatches throw SimError(ErrorKind::Snapshot).
+     */
+    void restore(SnapshotReader &reader);
+
+    /** Cycle the run loop is at (checkpoint naming, diagnostics). */
+    Cycle currentCycle() const { return now_; }
+
     /** Access an SM (tests). */
     Sm &sm(unsigned i) { return *sms_[i]; }
     unsigned numSms() const { return unsigned(sms_.size()); }
@@ -111,11 +143,40 @@ class Gpu
     const GpuConfig &config() const { return config_; }
 
   private:
+    /** Validate @p kernels and distribute their warps across SMs. */
+    void launchKernels(const std::vector<KernelLaunch> &kernels);
+
+    /** The clock loop; runs until done or a watchdog fires. */
+    void runLoop(GpuResult &result);
+
+    /** Watchdog trace stamp + per-SM stats folding. */
+    void finalize(GpuResult &result);
+
     const GpuConfig config_; ///< copied: callers may reuse/modify theirs
     Memory &memory_;
     const Bvh *scene_;
     std::vector<std::unique_ptr<Sm>> sms_;
+
+    /** The active launch (programs not owned); save() fingerprints it. */
+    std::vector<KernelLaunch> kernels_;
+
+    // Run-loop state, members so a checkpoint can capture and a resume
+    // re-enter the loop mid-run (see runLoop()).
+    Cycle now_ = 0;
+    std::uint64_t lastIssued_ = 0;
+    Cycle lastProgress_ = 0;
 };
+
+/**
+ * FNV-1a fingerprint over every determinism-relevant GpuConfig field
+ * (architecture geometry, latencies, SI policy knobs, scheduler, RNG
+ * seed, watchdog limits — not hooks or trace sinks). A checkpoint only
+ * restores under a config with the same fingerprint.
+ */
+std::uint64_t configFingerprint(const GpuConfig &config);
+
+/** FNV-1a fingerprint of a program (name, register demand, source). */
+std::uint64_t programFingerprint(const Program &program);
 
 /** Convenience: build a GPU and run one kernel. */
 GpuResult simulate(const GpuConfig &config, Memory &memory,

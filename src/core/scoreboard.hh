@@ -15,6 +15,7 @@
 
 #include "common/thread_mask.hh"
 #include "common/types.hh"
+#include "snapshot/snapshot.hh"
 
 namespace si {
 
@@ -111,6 +112,25 @@ class ScoreboardFile
         for (unsigned lane : lanesOf(mask))
             m = std::max(m, counts_[lane][sb]);
         return m;
+    }
+
+    /** Serialize every per-lane counter (fixed 32x8 layout, untagged:
+     *  embedded in the owning warp's section). */
+    void
+    save(SnapshotWriter &w) const
+    {
+        for (const auto &lane : counts_)
+            for (std::uint8_t c : lane)
+                w.u8(c);
+    }
+
+    /** Restore counters serialized by save(). */
+    void
+    restore(SnapshotReader &r)
+    {
+        for (auto &lane : counts_)
+            for (std::uint8_t &c : lane)
+                c = r.u8();
     }
 
   private:

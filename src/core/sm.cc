@@ -175,6 +175,76 @@ SmStats::accumulate(const SmStats &other)
     l0iMisses += other.l0iMisses;
 }
 
+void
+SmStats::save(SnapshotWriter &w) const
+{
+    w.tag(SnapTag::Stats);
+    w.u64(cycles);
+    w.u64(instrsIssued);
+    w.u64(warpsRetired);
+    w.u64(noIssueCycles);
+    w.u64(exposedLoadStallCycles);
+    w.f64(exposedLoadStallCyclesDivergent);
+    w.u64(exposedFetchStallCycles);
+    w.u64(warpScoreboardStallCycles);
+    w.u64(warpPipeStallCycles);
+    w.u64(warpFetchStallCycles);
+    w.u64(warpSwitchCycles);
+    w.u64(ldgIssued);
+    w.u64(gmemTransactions);
+    w.u64(texIssued);
+    w.u64(rtQueriesIssued);
+    w.u64(stgIssued);
+    w.u64(divergentBranches);
+    w.u64(reconvergences);
+    w.u64(subwarpSelects);
+    w.u64(subwarpStalls);
+    w.u64(subwarpWakeups);
+    w.u64(subwarpYields);
+    w.u64(tstFullDenials);
+    w.u64(l1dHits);
+    w.u64(l1dMisses);
+    w.u64(l1iHits);
+    w.u64(l1iMisses);
+    w.u64(l0iHits);
+    w.u64(l0iMisses);
+}
+
+void
+SmStats::restore(SnapshotReader &r)
+{
+    r.tag(SnapTag::Stats);
+    cycles = r.u64();
+    instrsIssued = r.u64();
+    warpsRetired = r.u64();
+    noIssueCycles = r.u64();
+    exposedLoadStallCycles = r.u64();
+    exposedLoadStallCyclesDivergent = r.f64();
+    exposedFetchStallCycles = r.u64();
+    warpScoreboardStallCycles = r.u64();
+    warpPipeStallCycles = r.u64();
+    warpFetchStallCycles = r.u64();
+    warpSwitchCycles = r.u64();
+    ldgIssued = r.u64();
+    gmemTransactions = r.u64();
+    texIssued = r.u64();
+    rtQueriesIssued = r.u64();
+    stgIssued = r.u64();
+    divergentBranches = r.u64();
+    reconvergences = r.u64();
+    subwarpSelects = r.u64();
+    subwarpStalls = r.u64();
+    subwarpWakeups = r.u64();
+    subwarpYields = r.u64();
+    tstFullDenials = r.u64();
+    l1dHits = r.u64();
+    l1dMisses = r.u64();
+    l1iHits = r.u64();
+    l1iMisses = r.u64();
+    l0iHits = r.u64();
+    l0iMisses = r.u64();
+}
+
 Sm::Sm(unsigned id, const GpuConfig &config, Memory &memory,
        const Bvh *scene)
     : id_(id),
@@ -1127,6 +1197,125 @@ Sm::finalizeStats()
         stats_.l0iHits += pb.l0i.hits();
         stats_.l0iMisses += pb.l0i.misses();
     }
+}
+
+void
+Sm::save(SnapshotWriter &w) const
+{
+    w.tag(SnapTag::Sm);
+    w.u32(id_);
+    w.u32(maxResidentPerPb_);
+
+    w.u64(warps_.size());
+    for (const auto &warp : warps_)
+        warp->save(w);
+
+    w.u64(pendingAdmission_.size());
+    for (unsigned idx : pendingAdmission_)
+        w.u32(idx);
+
+    w.u64(pbs_.size());
+    for (const ProcessingBlock &pb : pbs_) {
+        w.tag(SnapTag::Pb);
+        pb.l0i.save(w);
+        w.u64(pb.resident.size());
+        for (unsigned idx : pb.resident)
+            w.u32(idx);
+        w.u32(pb.regsInUse);
+        w.u32(pb.lrrCursor);
+        w.u32(std::uint32_t(pb.gtoCurrent));
+    }
+
+    // The writeback queue serializes in multimap iteration order, which
+    // is insertion order within equal keys — exactly what drain order
+    // depends on, so a restored queue drains identically.
+    w.u64(events_.size());
+    for (const auto &[when, wb] : events_) {
+        w.u64(when);
+        w.u32(wb.warpIdx);
+        w.u32(wb.mask.raw());
+        w.u8(wb.sb);
+        w.u8(std::uint8_t(wb.port));
+    }
+
+    w.u64(mshrFreeAt_.size());
+    for (Cycle c : mshrFreeAt_)
+        w.u64(c);
+
+    l1d_.save(w);
+    l1i_.save(w);
+    rtcore_.save(w);
+    unit_.save(w);
+    stats_.save(w);
+}
+
+void
+Sm::restore(SnapshotReader &r)
+{
+    r.tag(SnapTag::Sm);
+    const unsigned id = r.u32();
+    sim_throw_if(id != id_, ErrorKind::Snapshot,
+                 "sm %u: snapshot holds state for sm %u", id_, id);
+    maxResidentPerPb_ = r.u32();
+
+    const std::uint64_t num_warps = r.u64();
+    sim_throw_if(num_warps != warps_.size(), ErrorKind::Snapshot,
+                 "sm %u: snapshot has %llu warps, expected %zu (launch "
+                 "mismatch?)",
+                 id_, static_cast<unsigned long long>(num_warps),
+                 warps_.size());
+    for (auto &warp : warps_)
+        warp->restore(r);
+
+    pendingAdmission_.clear();
+    const std::uint64_t num_pending = r.u64();
+    for (std::uint64_t i = 0; i < num_pending; ++i)
+        pendingAdmission_.push_back(r.u32());
+
+    const std::uint64_t num_pbs = r.u64();
+    sim_throw_if(num_pbs != pbs_.size(), ErrorKind::Snapshot,
+                 "sm %u: snapshot has %llu processing blocks, expected "
+                 "%zu",
+                 id_, static_cast<unsigned long long>(num_pbs),
+                 pbs_.size());
+    for (ProcessingBlock &pb : pbs_) {
+        r.tag(SnapTag::Pb);
+        pb.l0i.restore(r);
+        pb.resident.resize(r.u64());
+        for (unsigned &idx : pb.resident)
+            idx = r.u32();
+        pb.regsInUse = r.u32();
+        pb.lrrCursor = r.u32();
+        pb.gtoCurrent = int(std::int32_t(r.u32()));
+    }
+
+    events_.clear();
+    const std::uint64_t num_events = r.u64();
+    for (std::uint64_t i = 0; i < num_events; ++i) {
+        const Cycle when = r.u64();
+        Writeback wb;
+        wb.warpIdx = r.u32();
+        wb.mask = ThreadMask(r.u32());
+        wb.sb = r.u8();
+        wb.port = WbPort(r.u8());
+        events_.emplace_hint(events_.end(), when, wb);
+    }
+
+    const std::uint64_t num_mshrs = r.u64();
+    sim_throw_if(num_mshrs != mshrFreeAt_.size(), ErrorKind::Snapshot,
+                 "sm %u: snapshot has %llu MSHRs, expected %zu", id_,
+                 static_cast<unsigned long long>(num_mshrs),
+                 mshrFreeAt_.size());
+    for (Cycle &c : mshrFreeAt_)
+        c = r.u64();
+
+    l1d_.restore(r);
+    l1i_.restore(r);
+    rtcore_.restore(r);
+    unit_.restore(r);
+    stats_.restore(r);
+
+    statusScratch_.assign(warps_.size(), WarpStatus::Done);
 }
 
 } // namespace si

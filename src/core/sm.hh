@@ -89,6 +89,15 @@ struct SmStats
 
     /** Accumulate another SM's statistics into this one. */
     void accumulate(const SmStats &other);
+
+    /** Field-wise equality (the determinism validator's contract). */
+    bool operator==(const SmStats &) const = default;
+
+    /** Serialize every counter. */
+    void save(SnapshotWriter &w) const;
+
+    /** Restore counters serialized by save(). */
+    void restore(SnapshotReader &r);
 };
 
 /**
@@ -182,6 +191,21 @@ class Sm
      */
     unsigned maxResidentPerPb() const { return maxResidentPerPb_; }
 
+    /**
+     * Serialize the complete SM: every warp, processing block, cache,
+     * the writeback event queue, MSHR timers, RT core, subwarp unit,
+     * and statistics.
+     */
+    void save(SnapshotWriter &w) const;
+
+    /**
+     * Restore state serialized by save(). The SM must already hold the
+     * same warp population (the resume path re-runs the kernel launch
+     * before restoring); mismatched warp counts or ids throw
+     * SimError(ErrorKind::Snapshot).
+     */
+    void restore(SnapshotReader &r);
+
   private:
     /** Pending writeback: a scoreboard release at a future cycle. */
     struct Writeback
@@ -234,7 +258,6 @@ class Sm
     std::multimap<Cycle, Writeback> events_;
 
     unsigned maxResidentPerPb_ = 0;
-    unsigned retired_ = 0;
 
     /** Per-MSHR busy-until times (empty = unlimited MSHRs). */
     std::vector<Cycle> mshrFreeAt_;

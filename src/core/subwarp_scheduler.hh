@@ -112,6 +112,42 @@ class SubwarpUnit
 
     const SubwarpUnitStats &stats() const { return stats_; }
 
+    /** Serialize the RNG stream position and the stat counters. */
+    void
+    save(SnapshotWriter &w) const
+    {
+        w.tag(SnapTag::SubwarpUnit);
+        for (std::uint64_t s : rng_.state())
+            w.u64(s);
+        w.u64(stats_.divergentBranches);
+        w.u64(stats_.reconvergences);
+        w.u64(stats_.subwarpSelects);
+        w.u64(stats_.subwarpStalls);
+        w.u64(stats_.subwarpWakeups);
+        w.u64(stats_.subwarpYields);
+        w.u64(stats_.barrierReleasesOnExit);
+        w.u64(stats_.stallDemotionsDeniedTstFull);
+    }
+
+    /** Restore state serialized by save(). */
+    void
+    restore(SnapshotReader &r)
+    {
+        r.tag(SnapTag::SubwarpUnit);
+        std::array<std::uint64_t, 4> s;
+        for (std::uint64_t &word : s)
+            word = r.u64();
+        rng_.setState(s);
+        stats_.divergentBranches = r.u64();
+        stats_.reconvergences = r.u64();
+        stats_.subwarpSelects = r.u64();
+        stats_.subwarpStalls = r.u64();
+        stats_.subwarpWakeups = r.u64();
+        stats_.subwarpYields = r.u64();
+        stats_.barrierReleasesOnExit = r.u64();
+        stats_.stallDemotionsDeniedTstFull = r.u64();
+    }
+
   private:
     /** Release barrier @p bar of @p warp: all live participants resume. */
     void releaseBarrier(Warp &warp, BarIndex bar, Cycle now);

@@ -68,4 +68,105 @@ Warp::tstOccupancy() const
     return n;
 }
 
+void
+Warp::save(SnapshotWriter &w) const
+{
+    w.tag(SnapTag::Warp);
+    w.u32(id_);
+    w.u32(pb_);
+    w.u32(ctaId);
+    w.u32(logicalId);
+
+    w.u64(regs_.size());
+    for (std::uint32_t v : regs_)
+        w.u32(v);
+    for (std::uint8_t p : preds_)
+        w.u8(p);
+    for (ThreadState s : state_)
+        w.u8(std::uint8_t(s));
+    for (std::uint32_t pc : pc_)
+        w.u32(pc);
+    w.u32(live_.raw());
+    for (ThreadMask b : barriers_)
+        w.u32(b.raw());
+    for (BarIndex b : blockedOn_)
+        w.u8(b);
+    sb_.save(w);
+
+    w.u64(tst_.size());
+    for (const TstEntry &e : tst_) {
+        w.b(e.valid);
+        w.u32(e.members.raw());
+        w.u32(e.pc);
+        w.u8(e.sbId);
+        w.u8(e.sbCount);
+    }
+
+    for (Cycle c : regReady_)
+        w.u64(c);
+    for (Cycle c : predReady_)
+        w.u64(c);
+
+    w.u64(issueReadyAt);
+    w.b(inFetchStall);
+    w.u32(longOpsSinceSwitch);
+    w.u32(selectCursor);
+    w.u64(lastIssueCycle);
+    w.u32(fetchedPc);
+}
+
+void
+Warp::restore(SnapshotReader &r)
+{
+    r.tag(SnapTag::Warp);
+    const unsigned id = r.u32();
+    sim_throw_if(id != id_, ErrorKind::Snapshot,
+                 "warp %u: snapshot holds state for warp %u", id_, id);
+    pb_ = r.u32();
+    ctaId = r.u32();
+    logicalId = r.u32();
+
+    const std::uint64_t num_regs = r.u64();
+    sim_throw_if(num_regs != regs_.size(), ErrorKind::Snapshot,
+                 "warp %u: snapshot register file has %llu words, "
+                 "expected %zu (program mismatch?)",
+                 id_, static_cast<unsigned long long>(num_regs),
+                 regs_.size());
+    for (std::uint32_t &v : regs_)
+        v = r.u32();
+    for (std::uint8_t &p : preds_)
+        p = r.u8();
+    for (ThreadState &s : state_)
+        s = ThreadState(r.u8());
+    for (std::uint32_t &pc : pc_)
+        pc = r.u32();
+    live_ = ThreadMask(r.u32());
+    for (ThreadMask &b : barriers_)
+        b = ThreadMask(r.u32());
+    for (BarIndex &b : blockedOn_)
+        b = r.u8();
+    sb_.restore(r);
+
+    tst_.resize(r.u64());
+    for (TstEntry &e : tst_) {
+        e.valid = r.b();
+        e.members = ThreadMask(r.u32());
+        e.pc = r.u32();
+        e.sbId = r.u8();
+        e.sbCount = r.u8();
+    }
+
+    for (Cycle &c : regReady_)
+        c = r.u64();
+    for (Cycle &c : predReady_)
+        c = r.u64();
+
+    issueReadyAt = r.u64();
+    inFetchStall = r.b();
+    longOpsSinceSwitch = r.u32();
+    selectCursor = r.u32();
+    lastIssueCycle = r.u64();
+    fetchedPc = r.u32();
+}
+
 } // namespace si

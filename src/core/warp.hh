@@ -217,6 +217,18 @@ class Warp
     /** Reassign the processing block at admission time. */
     void setPb(unsigned pb) { pb_ = pb; }
 
+    /**
+     * Serialize every architectural and scheduling field. The program
+     * pointer is NOT serialized — the resume path reconstructs warps
+     * from the same kernel launch and verifies program identity via
+     * source fingerprints before calling restore().
+     */
+    void save(SnapshotWriter &w) const;
+
+    /** Restore state serialized by save(); warp id and register-file
+     *  geometry must match this warp's construction. */
+    void restore(SnapshotReader &r);
+
   private:
     unsigned id_;
     unsigned pb_;

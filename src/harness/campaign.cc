@@ -1,0 +1,518 @@
+#include "harness/campaign.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/json.hh"
+#include "common/log.hh"
+#include "snapshot/snapshot.hh"
+
+namespace si {
+
+namespace {
+
+/** Reverse of errorKindName(), for manifest/result parsing. */
+ErrorKind
+errorKindFromName(const std::string &name)
+{
+    static const ErrorKind all[] = {
+        ErrorKind::None,           ErrorKind::Config,
+        ErrorKind::Parse,          ErrorKind::Internal,
+        ErrorKind::BarrierDeadlock, ErrorKind::Livelock,
+        ErrorKind::InvariantViolation, ErrorKind::CycleLimit,
+        ErrorKind::WallClock,      ErrorKind::ChildTimeout,
+        ErrorKind::ChildCrash,     ErrorKind::Snapshot,
+    };
+    for (ErrorKind k : all) {
+        if (name == errorKindName(k))
+            return k;
+    }
+    return ErrorKind::Internal;
+}
+
+/** Filename-safe stem from a cell identity. */
+std::string
+sanitize(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        const bool keep = (c >= 'a' && c <= 'z') ||
+                          (c >= 'A' && c <= 'Z') ||
+                          (c >= '0' && c <= '9') || c == '-' || c == '.';
+        out.push_back(keep ? c : '_');
+    }
+    return out;
+}
+
+/** Atomic text write: temp file + rename, same crash contract as
+ *  checkpoint files. */
+void
+writeFileAtomic(const std::string &path, const std::string &content)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        sim_throw_if(!out, ErrorKind::Internal, "cannot open '%s'",
+                     tmp.c_str());
+        out.write(content.data(),
+                  std::streamsize(content.size()));
+        sim_throw_if(!out, ErrorKind::Internal, "write failed for '%s'",
+                     tmp.c_str());
+    }
+    sim_throw_if(std::rename(tmp.c_str(), path.c_str()) != 0,
+                 ErrorKind::Internal, "rename '%s' -> '%s' failed: %s",
+                 tmp.c_str(), path.c_str(), std::strerror(errno));
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+/** Per-cell result document the child leaves for the parent. */
+std::string
+cellResultJson(const CampaignCellRecord &rec, const GpuResult &result,
+               bool resumed)
+{
+    json::Writer w;
+    w.beginObject();
+    w.key("schema").value("si-cell-v1");
+    w.key("workload").value(rec.workload);
+    w.key("config").value(rec.configLabel);
+    w.key("kind").value(errorKindName(result.status.kind));
+    w.key("detail").value(result.status.ok() ? ""
+                                             : result.status.message);
+    w.key("cycles").value(std::uint64_t(result.cycles));
+    w.key("instrs").value(result.total.instrsIssued);
+    w.key("warpsRetired").value(result.total.warpsRetired);
+    w.key("resumed").value(resumed);
+    w.endObject();
+    return w.take();
+}
+
+} // namespace
+
+CampaignRunner::CampaignRunner(
+    std::vector<Workload> suite,
+    std::vector<std::pair<std::string, GpuConfig>> configs,
+    CampaignOptions options)
+    : suite_(std::move(suite)),
+      configs_(std::move(configs)),
+      options_(std::move(options))
+{
+}
+
+std::string
+CampaignRunner::cellStem(const CampaignCellRecord &rec) const
+{
+    return sanitize(rec.workload) + "__" + sanitize(rec.configLabel);
+}
+
+std::string
+CampaignRunner::checkpointPath(const CampaignCellRecord &rec) const
+{
+    return options_.stateDir + "/" + cellStem(rec) + ".ckpt";
+}
+
+std::string
+CampaignRunner::resultPath(const CampaignCellRecord &rec) const
+{
+    return options_.stateDir + "/" + cellStem(rec) + ".result.json";
+}
+
+std::string
+CampaignRunner::manifestJson(const CampaignReport &report)
+{
+    json::Writer w;
+    w.beginObject();
+    w.key("schema").value("si-campaign-v1");
+    w.key("complete").value(report.complete);
+    w.key("done").value(report.numDone());
+    w.key("failed").value(report.numFailed());
+    w.key("cells").beginArray();
+    for (const CampaignCellRecord &c : report.cells) {
+        w.beginObject();
+        w.key("workload").value(c.workload);
+        w.key("config").value(c.configLabel);
+        w.key("state").value(c.state);
+        w.key("attempts").value(c.attempts);
+        w.key("kind").value(errorKindName(c.kind));
+        w.key("detail").value(c.detail);
+        w.key("diagnosis").value(c.diagnosis);
+        w.key("cycles").value(std::uint64_t(c.cycles));
+        w.key("checkpoint").value(c.checkpoint);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.take();
+}
+
+bool
+CampaignRunner::parseManifest(const std::string &text, CampaignReport &out,
+                              std::string &error)
+{
+    json::ParseResult parsed = json::parse(text);
+    if (!parsed.ok) {
+        error = "manifest is not valid JSON: " + parsed.error;
+        return false;
+    }
+    const json::Value &root = parsed.value;
+    const json::Value *schema = root.find("schema");
+    if (!schema || !schema->isString() ||
+        schema->str != "si-campaign-v1") {
+        error = "manifest schema is not si-campaign-v1";
+        return false;
+    }
+    const json::Value *complete = root.find("complete");
+    const json::Value *cells = root.find("cells");
+    if (!complete || !complete->isBool() || !cells ||
+        !cells->isArray()) {
+        error = "manifest lacks complete/cells members";
+        return false;
+    }
+    out = CampaignReport{};
+    out.complete = complete->boolean;
+    for (const json::Value &cv : cells->array) {
+        CampaignCellRecord rec;
+        auto need = [&](const char *key) -> const json::Value * {
+            const json::Value *v = cv.find(key);
+            if (!v)
+                error = std::string("cell lacks '") + key + "'";
+            return v;
+        };
+        const json::Value *wl = need("workload");
+        const json::Value *cfg = need("config");
+        const json::Value *state = need("state");
+        const json::Value *attempts = need("attempts");
+        const json::Value *kind = need("kind");
+        if (!wl || !cfg || !state || !attempts || !kind)
+            return false;
+        rec.workload = wl->str;
+        rec.configLabel = cfg->str;
+        rec.state = state->str;
+        rec.attempts = unsigned(attempts->number);
+        rec.kind = errorKindFromName(kind->str);
+        if (const json::Value *v = cv.find("detail"))
+            rec.detail = v->str;
+        if (const json::Value *v = cv.find("diagnosis"))
+            rec.diagnosis = v->str;
+        if (const json::Value *v = cv.find("cycles"))
+            rec.cycles = Cycle(v->number);
+        if (const json::Value *v = cv.find("checkpoint"))
+            rec.checkpoint = v->str;
+        out.cells.push_back(std::move(rec));
+    }
+    return true;
+}
+
+void
+CampaignRunner::writeManifest(const CampaignReport &report) const
+{
+    writeFileAtomic(options_.stateDir + "/campaign.json",
+                    manifestJson(report));
+}
+
+void
+CampaignRunner::childMain(const CampaignCellRecord &rec,
+                          const Workload &workload, GpuConfig config)
+{
+    GpuResult result;
+    bool resumed = false;
+    try {
+        config.rtc = workload.rtc;
+        if (options_.childConfigHook)
+            options_.childConfigHook(config, rec, rec.attempts);
+
+        const std::string ckpt = checkpointPath(rec);
+        if (options_.checkpointEvery) {
+            config.checkpointInterval = options_.checkpointEvery;
+            config.checkpointHook = [ckpt](const Gpu &gpu, Cycle) {
+                SnapshotWriter w;
+                gpu.save(w);
+                writeSnapshotFile(ckpt, w.finish());
+            };
+        }
+
+        const std::vector<KernelLaunch> kernels{
+            {&workload.program, workload.launch}};
+
+        // A checkpoint from an earlier attempt (or an earlier campaign
+        // invocation) resumes the cell mid-run; a corrupt or mismatched
+        // checkpoint falls back to a fresh run rather than failing the
+        // cell on its own recovery mechanism.
+        if (std::filesystem::exists(ckpt)) {
+            try {
+                const std::string data = readSnapshotFile(ckpt);
+                Memory mem = *workload.memory;
+                Gpu gpu(config, mem, workload.bvh());
+                SnapshotReader reader(data);
+                result = gpu.resumeMulti(kernels, reader);
+                resumed = result.status.kind != ErrorKind::Snapshot;
+            } catch (const SimError &) {
+                resumed = false;
+            }
+        }
+        if (!resumed) {
+            Memory mem = *workload.memory;
+            Gpu gpu(config, mem, workload.bvh());
+            result = gpu.runMulti(kernels);
+        }
+    } catch (const SimError &e) {
+        result.status = e.status();
+    } catch (const std::exception &e) {
+        result.status = RunStatus::failure(
+            ErrorKind::Internal,
+            std::string("unexpected exception: ") + e.what());
+    }
+
+    try {
+        writeFileAtomic(resultPath(rec),
+                        cellResultJson(rec, result, resumed));
+    } catch (const std::exception &) {
+        _exit(3); // parent classifies a missing result as Internal
+    }
+    _exit(0);
+}
+
+void
+CampaignRunner::runAttempt(CampaignCellRecord &rec,
+                           const Workload &workload,
+                           const GpuConfig &config)
+{
+    using clock = std::chrono::steady_clock;
+
+    ++rec.attempts;
+    std::remove(resultPath(rec).c_str());
+
+    const pid_t pid = fork();
+    sim_throw_if(pid < 0, ErrorKind::Internal, "fork failed: %s",
+                 std::strerror(errno));
+    if (pid == 0)
+        childMain(rec, workload, config); // never returns
+
+    // Reap with a wall-clock deadline; a child that overruns is killed
+    // outright (ChildTimeout — the parent's budget, distinct from the
+    // simulator's own in-process watchdogs).
+    const bool bounded = options_.cellTimeoutSec > 0;
+    const auto deadline =
+        clock::now() + std::chrono::duration_cast<clock::duration>(
+                           std::chrono::duration<double>(
+                               bounded ? options_.cellTimeoutSec : 0));
+    int wstatus = 0;
+    bool timed_out = false;
+    while (true) {
+        const pid_t r = waitpid(pid, &wstatus, bounded ? WNOHANG : 0);
+        sim_throw_if(r < 0, ErrorKind::Internal, "waitpid failed: %s",
+                     std::strerror(errno));
+        if (r == pid)
+            break;
+        if (bounded && clock::now() >= deadline) {
+            kill(pid, SIGKILL);
+            waitpid(pid, &wstatus, 0);
+            timed_out = true;
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+
+    if (timed_out) {
+        rec.kind = ErrorKind::ChildTimeout;
+        rec.detail = "cell exceeded its " +
+                     std::to_string(options_.cellTimeoutSec) +
+                     "s wall budget and was killed";
+        return;
+    }
+    if (WIFSIGNALED(wstatus)) {
+        rec.kind = ErrorKind::ChildCrash;
+        rec.detail = "cell died on signal " +
+                     std::to_string(WTERMSIG(wstatus));
+        return;
+    }
+    if (!WIFEXITED(wstatus) || WEXITSTATUS(wstatus) != 0) {
+        rec.kind = ErrorKind::Internal;
+        rec.detail = "cell exited with status " +
+                     std::to_string(WEXITSTATUS(wstatus));
+        return;
+    }
+
+    std::string text;
+    if (!readFile(resultPath(rec), text)) {
+        rec.kind = ErrorKind::Internal;
+        rec.detail = "cell exited cleanly but left no result file";
+        return;
+    }
+    json::ParseResult parsed = json::parse(text);
+    const json::Value *kind =
+        parsed.ok ? parsed.value.find("kind") : nullptr;
+    if (!kind || !kind->isString()) {
+        rec.kind = ErrorKind::Internal;
+        rec.detail = "cell result file is malformed";
+        return;
+    }
+    rec.kind = errorKindFromName(kind->str);
+    rec.detail = "";
+    if (const json::Value *v = parsed.value.find("detail"))
+        rec.detail = v->str;
+    rec.cycles = 0;
+    if (const json::Value *v = parsed.value.find("cycles"))
+        rec.cycles = Cycle(v->number);
+}
+
+CampaignReport
+CampaignRunner::run()
+{
+    std::filesystem::create_directories(options_.stateDir);
+
+    CampaignReport report;
+    report.manifestPath = options_.stateDir + "/campaign.json";
+    for (const Workload &wl : suite_) {
+        for (const auto &[label, config] : configs_) {
+            (void)config;
+            CampaignCellRecord rec;
+            rec.workload = wl.name;
+            rec.configLabel = label;
+            report.cells.push_back(std::move(rec));
+        }
+    }
+
+    // A fresh (non-resuming) campaign must not inherit checkpoints or
+    // results a previous campaign left in the same state directory.
+    if (!options_.resume) {
+        for (const CampaignCellRecord &rec : report.cells) {
+            std::error_code ec;
+            std::filesystem::remove(checkpointPath(rec), ec);
+            std::filesystem::remove(resultPath(rec), ec);
+        }
+    }
+
+    // Resume: adopt the terminal cells of a previous invocation; cells
+    // left pending (including a cell the previous parent died inside)
+    // re-run, picking up their last auto-checkpoint if one exists.
+    if (options_.resume) {
+        std::string text, error;
+        CampaignReport prior;
+        if (readFile(report.manifestPath, text) &&
+            parseManifest(text, prior, error)) {
+            for (CampaignCellRecord &rec : report.cells) {
+                for (const CampaignCellRecord &old : prior.cells) {
+                    if (old.workload == rec.workload &&
+                        old.configLabel == rec.configLabel &&
+                        (old.done() || old.failed())) {
+                        rec = old;
+                        break;
+                    }
+                }
+            }
+        } else if (!text.empty()) {
+            warn("campaign resume: ignoring unusable manifest (%s)",
+                 error.c_str());
+        }
+    }
+    writeManifest(report);
+
+    for (CampaignCellRecord &rec : report.cells) {
+        if (rec.done() || rec.failed())
+            continue;
+        if (options_.maxCellsThisRun &&
+            report.cellsRun >= options_.maxCellsThisRun)
+            break;
+
+        const Workload *workload = nullptr;
+        for (const Workload &wl : suite_) {
+            if (wl.name == rec.workload) {
+                workload = &wl;
+                break;
+            }
+        }
+        const GpuConfig *config = nullptr;
+        for (const auto &[label, cfg] : configs_) {
+            if (label == rec.configLabel) {
+                config = &cfg;
+                break;
+            }
+        }
+        sim_throw_if(!workload || !config, ErrorKind::Internal,
+                     "campaign cell '%s'/'%s' lost its definition",
+                     rec.workload.c_str(), rec.configLabel.c_str());
+
+        while (true) {
+            runAttempt(rec, *workload, *config);
+            if (rec.kind == ErrorKind::None) {
+                rec.state = "done";
+                rec.diagnosis = "";
+                break;
+            }
+            const bool transient = errorKindIsTransient(
+                rec.kind, options_.faultInjectionActive);
+            if (!transient || rec.attempts > options_.maxRetries) {
+                rec.state = "failed";
+                rec.diagnosis = errorDetectorName(rec.kind);
+                if (std::filesystem::exists(checkpointPath(rec)))
+                    rec.checkpoint = checkpointPath(rec);
+                warn("campaign cell %s/%s failed permanently after %u "
+                     "attempt(s): %s [%s]%s%s",
+                     rec.workload.c_str(), rec.configLabel.c_str(),
+                     rec.attempts, rec.detail.c_str(),
+                     rec.diagnosis.c_str(),
+                     rec.checkpoint.empty() ? ""
+                                            : "; last checkpoint: ",
+                     rec.checkpoint.c_str());
+                break;
+            }
+            // A timeout or crash kill leaves a healthy machine's
+            // checkpoint worth resuming. A detector trip (livelock,
+            // invariant violation, ...) means the machine state itself
+            // went bad, and auto-checkpoints from that attempt may have
+            // captured the corruption — drop them so the retry starts
+            // clean instead of resuming straight back into the failure.
+            if (rec.kind != ErrorKind::ChildTimeout &&
+                rec.kind != ErrorKind::ChildCrash &&
+                rec.kind != ErrorKind::WallClock) {
+                std::error_code ec;
+                std::filesystem::remove(checkpointPath(rec), ec);
+            }
+            if (options_.retryBackoffSec > 0) {
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(
+                        options_.retryBackoffSec * rec.attempts));
+            }
+        }
+        if (rec.done() && std::filesystem::exists(checkpointPath(rec)))
+            rec.checkpoint = checkpointPath(rec);
+
+        ++report.cellsRun;
+        writeManifest(report);
+    }
+
+    report.complete = true;
+    for (const CampaignCellRecord &rec : report.cells) {
+        if (!rec.done() && !rec.failed()) {
+            report.complete = false;
+            break;
+        }
+    }
+    writeManifest(report);
+    return report;
+}
+
+} // namespace si

@@ -119,8 +119,13 @@ runSuiteSafe(const std::vector<Workload> &suite, const GpuConfig &config,
             runWorkloadSafe(wl, config, per_run_timeout_sec));
         const RunOutcome &o = outcomes.back();
         if (!o.ok()) {
-            warn("workload '%s' failed (%s); continuing sweep",
-                 o.name.c_str(), o.result.status.summary().c_str());
+            // Name the detector explicitly: a wall-clock budget kill and
+            // a forward-progress watchdog trip used to read identically
+            // here, sending people to debug the wrong mechanism.
+            warn("workload '%s' failed (%s; flagged by %s); continuing "
+                 "sweep",
+                 o.name.c_str(), o.result.status.summary().c_str(),
+                 errorDetectorName(o.result.status.kind));
         }
     }
     return outcomes;

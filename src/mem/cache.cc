@@ -4,6 +4,7 @@
 
 #include "common/log.hh"
 #include "common/sim_error.hh"
+#include "snapshot/snapshot.hh"
 
 namespace si {
 
@@ -78,6 +79,59 @@ Cache::probe(Addr addr) const
             return true;
     }
     return false;
+}
+
+void
+Cache::save(SnapshotWriter &w) const
+{
+    w.tag(SnapTag::Cache);
+    w.str(config_.name);
+    w.u64(config_.sizeBytes);
+    w.u32(config_.lineBytes);
+    w.u32(config_.assoc);
+
+    w.u64(lines_.size());
+    for (const Line &line : lines_) {
+        w.u64(line.tag);
+        w.u64(line.lastUse);
+        w.b(line.valid);
+    }
+    w.u64(useClock_);
+    w.u64(hits_);
+    w.u64(misses_);
+}
+
+void
+Cache::restore(SnapshotReader &r)
+{
+    r.tag(SnapTag::Cache);
+    const std::string name = r.str();
+    const std::uint64_t size = r.u64();
+    const unsigned line_bytes = r.u32();
+    const unsigned assoc = r.u32();
+    sim_throw_if(name != config_.name || size != config_.sizeBytes ||
+                     line_bytes != config_.lineBytes ||
+                     assoc != config_.assoc,
+                 ErrorKind::Snapshot,
+                 "cache '%s': snapshot geometry mismatch (snapshot has "
+                 "'%s' %llu/%u/%u)",
+                 config_.name.c_str(), name.c_str(),
+                 static_cast<unsigned long long>(size), line_bytes, assoc);
+
+    const std::uint64_t num_lines = r.u64();
+    sim_throw_if(num_lines != lines_.size(), ErrorKind::Snapshot,
+                 "cache '%s': snapshot has %llu lines, expected %zu",
+                 config_.name.c_str(),
+                 static_cast<unsigned long long>(num_lines),
+                 lines_.size());
+    for (Line &line : lines_) {
+        line.tag = r.u64();
+        line.lastUse = r.u64();
+        line.valid = r.b();
+    }
+    useClock_ = r.u64();
+    hits_ = r.u64();
+    misses_ = r.u64();
 }
 
 void

@@ -17,6 +17,9 @@
 
 namespace si {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** Geometry and identity of a cache. */
 struct CacheConfig
 {
@@ -72,6 +75,16 @@ class Cache
 
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
+
+    /** Serialize tags, recency, and hit/miss counters. */
+    void save(SnapshotWriter &w) const;
+
+    /**
+     * Restore a state serialized by save(). The geometry (size, line,
+     * assoc) must match this cache's configuration; a mismatch throws
+     * SimError(ErrorKind::Snapshot).
+     */
+    void restore(SnapshotReader &r);
 
   private:
     struct Line

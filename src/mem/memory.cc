@@ -1,6 +1,9 @@
 #include "mem/memory.hh"
 
+#include <algorithm>
 #include <cstring>
+
+#include "snapshot/snapshot.hh"
 
 namespace si {
 
@@ -46,6 +49,54 @@ Memory::firstDifference(const Memory &other, Addr &addr_out) const
     if (found)
         addr_out = lowest;
     return found;
+}
+
+void
+Memory::clear()
+{
+    words_.clear();
+    constants_.clear();
+}
+
+void
+Memory::save(SnapshotWriter &w) const
+{
+    w.tag(SnapTag::Memory);
+
+    std::vector<Addr> addrs;
+    addrs.reserve(words_.size());
+    for (const auto &[addr, value] : words_)
+        addrs.push_back(addr);
+    std::sort(addrs.begin(), addrs.end());
+
+    w.u64(addrs.size());
+    for (Addr addr : addrs) {
+        w.u64(addr);
+        w.u32(words_.at(addr));
+    }
+
+    w.u64(constants_.size());
+    for (std::uint32_t c : constants_)
+        w.u32(c);
+}
+
+void
+Memory::restore(SnapshotReader &r)
+{
+    r.tag(SnapTag::Memory);
+    clear();
+
+    const std::uint64_t num_words = r.u64();
+    words_.reserve(num_words);
+    for (std::uint64_t i = 0; i < num_words; ++i) {
+        const Addr addr = r.u64();
+        words_[addr] = r.u32();
+    }
+
+    const std::uint64_t num_consts = r.u64();
+    constants_.resize(num_consts);
+    for (auto &c : constants_)
+        c = r.u32();
 }
 
 } // namespace si

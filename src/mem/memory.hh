@@ -17,6 +17,9 @@
 
 namespace si {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** Device address where the texture segment lives. */
 inline constexpr Addr texSegmentBase = 0x40000000ull;
 
@@ -75,6 +78,20 @@ class Memory
      * difference exists.
      */
     bool firstDifference(const Memory &other, Addr &addr_out) const;
+
+    /** Drop every word and constant (restore target, kernel reset). */
+    void clear();
+
+    /**
+     * Serialize the full image. Words are written in ascending address
+     * order — NOT hash-map iteration order — so two images with equal
+     * content produce byte-identical snapshots regardless of insertion
+     * history (the container checksum depends on it).
+     */
+    void save(SnapshotWriter &w) const;
+
+    /** Replace this image with one serialized by save(). */
+    void restore(SnapshotReader &r);
 
     // ---- constant bank (LDC) ----
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "common/sim_error.hh"
+#include "snapshot/snapshot.hh"
 
 namespace si {
 
@@ -41,6 +43,34 @@ RtCore::query(Cycle now, ThreadMask mask,
     *pipe = start + service;
     result.latency = (start + service) - now;
     return result;
+}
+
+void
+RtCore::save(SnapshotWriter &w) const
+{
+    w.tag(SnapTag::RtCore);
+    w.u64(pipeBusyUntil_.size());
+    for (Cycle c : pipeBusyUntil_)
+        w.u64(c);
+    w.u64(queries_);
+    w.u64(rays_);
+    w.u64(nodes_);
+}
+
+void
+RtCore::restore(SnapshotReader &r)
+{
+    r.tag(SnapTag::RtCore);
+    const std::uint64_t num_pipes = r.u64();
+    sim_throw_if(num_pipes != pipeBusyUntil_.size(), ErrorKind::Snapshot,
+                 "rtcore: snapshot has %llu pipes, expected %zu",
+                 static_cast<unsigned long long>(num_pipes),
+                 pipeBusyUntil_.size());
+    for (Cycle &c : pipeBusyUntil_)
+        c = r.u64();
+    queries_ = r.u64();
+    rays_ = r.u64();
+    nodes_ = r.u64();
 }
 
 void

@@ -21,6 +21,9 @@
 
 namespace si {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** Timing parameters of the RT-core unit. */
 struct RtCoreConfig
 {
@@ -67,6 +70,13 @@ class RtCore
     std::uint64_t numQueries() const { return queries_; }
     std::uint64_t numRays() const { return rays_; }
     std::uint64_t totalNodesVisited() const { return nodes_; }
+
+    /** Serialize pipe occupancy and counters (not the BVH, which is
+     *  immutable input state re-attached by the resume path). */
+    void save(SnapshotWriter &w) const;
+
+    /** Restore state serialized by save(); pipe count must match. */
+    void restore(SnapshotReader &r);
 
   private:
     const Bvh *bvh_;

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Checkpoint/restore serialization primitives: the versioned, checksummed
+ * `sisnap-v1` binary container every stateful simulator component writes
+ * itself into. The format is deliberately dumb — little-endian fixed-width
+ * integers, length-prefixed byte strings, and four-byte section tags — so
+ * that a snapshot taken by one build restores bit-exactly under another
+ * and a truncated or corrupted file fails loudly (ErrorKind::Snapshot)
+ * instead of resurrecting a subtly wrong machine.
+ *
+ * Layering: this header depends only on src/common, so the core, memory,
+ * and RT-core libraries can implement save(SnapshotWriter&) /
+ * restore(SnapshotReader&) without a dependency cycle. The orchestration
+ * (whole-GPU checkpoints, the determinism validator, the campaign
+ * runner) lives above, in snapshot/replay.hh and harness/campaign.hh.
+ */
+
+#ifndef SI_SNAPSHOT_SNAPSHOT_HH
+#define SI_SNAPSHOT_SNAPSHOT_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/sim_error.hh"
+
+namespace si {
+
+/** Container magic; bumped when the payload layout changes. */
+inline constexpr char snapshotMagic[] = "sisnap-v1";
+
+/** FNV-1a 64-bit, the container checksum (and fingerprint hash). */
+class Fnv1a
+{
+  public:
+    void
+    update(const void *data, std::size_t n)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            hash_ ^= p[i];
+            hash_ *= 0x100000001b3ull;
+        }
+    }
+
+    void
+    update(std::string_view s)
+    {
+        update(s.data(), s.size());
+    }
+
+    void
+    update(std::uint64_t v)
+    {
+        unsigned char bytes[8];
+        for (unsigned i = 0; i < 8; ++i)
+            bytes[i] = (unsigned char)(v >> (8 * i));
+        update(bytes, sizeof(bytes));
+    }
+
+    std::uint64_t digest() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+/** Four-byte section tags; catch component-order drift at restore time. */
+enum class SnapTag : std::uint32_t {
+    Meta = 0x4154454du,      ///< "META": config + kernel fingerprints
+    Clock = 0x4b434c43u,     ///< "CLCK": run-loop cycle counters
+    Memory = 0x4d454d47u,    ///< "GMEM": functional memory image
+    Sm = 0x204d5320u,        ///< " SM ": one streaming multiprocessor
+    Warp = 0x50524157u,      ///< "WARP"
+    Cache = 0x48434143u,     ///< "CACH"
+    RtCore = 0x43545220u,    ///< " RTC"
+    SubwarpUnit = 0x55577353u, ///< "SsWU"
+    Pb = 0x20425020u,        ///< " PB "
+    Stats = 0x54415453u,     ///< "STAT"
+    End = 0x20444e45u,       ///< "END "
+};
+
+/** Render a tag as its four ASCII bytes (diagnostics). */
+std::string snapTagName(SnapTag tag);
+
+/**
+ * Serializes one snapshot payload. Components append typed fields in a
+ * fixed order; finish() wraps the payload in the sisnap-v1 header
+ * (magic, payload length, FNV-1a checksum).
+ */
+class SnapshotWriter
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf_.push_back(char(v));
+    }
+
+    void u16(std::uint16_t v) { uint(v, 2); }
+    void u32(std::uint32_t v) { uint(v, 4); }
+    void u64(std::uint64_t v) { uint(v, 8); }
+
+    /** Doubles travel as bit patterns, never through text formatting. */
+    void f64(double v);
+
+    void b(bool v) { u8(v ? 1 : 0); }
+
+    /** Length-prefixed byte string. */
+    void str(std::string_view s);
+
+    /** Open a component section. */
+    void tag(SnapTag t) { u32(std::uint32_t(t)); }
+
+    /** The complete container: header + payload. */
+    std::string finish() const;
+
+    std::size_t payloadSize() const { return buf_.size(); }
+
+  private:
+    void
+    uint(std::uint64_t v, unsigned bytes)
+    {
+        for (unsigned i = 0; i < bytes; ++i)
+            buf_.push_back(char((v >> (8 * i)) & 0xff));
+    }
+
+    std::string buf_;
+};
+
+/**
+ * Deserializes a sisnap-v1 container. The constructor validates magic,
+ * length, and checksum; every read throws SimError(ErrorKind::Snapshot)
+ * on truncation, and tag() throws on section-order mismatch, so a
+ * corrupt checkpoint can never restore partially.
+ */
+class SnapshotReader
+{
+  public:
+    /** @param data the full container (header + payload). Not owned;
+     *  must outlive the reader. */
+    explicit SnapshotReader(std::string_view data);
+
+    std::uint8_t u8() { return std::uint8_t(byte()); }
+    std::uint16_t u16() { return std::uint16_t(uint(2)); }
+    std::uint32_t u32() { return std::uint32_t(uint(4)); }
+    std::uint64_t u64() { return uint(8); }
+    double f64();
+    bool b() { return u8() != 0; }
+    std::string str();
+
+    /** Consume a section tag; throws when it isn't @p expected. */
+    void tag(SnapTag expected);
+
+    /** Bytes of payload not yet consumed. */
+    std::size_t remaining() const { return payload_.size() - pos_; }
+
+    /** Throw unless the whole payload was consumed (trailing garbage). */
+    void expectEnd() const;
+
+  private:
+    unsigned char byte();
+    std::uint64_t uint(unsigned bytes);
+
+    std::string_view payload_;
+    std::size_t pos_ = 0;
+};
+
+/**
+ * Write @p container to @p path atomically (temp file + rename), so a
+ * crash mid-write can never leave a half-checkpoint behind.
+ * @throws SimError(ErrorKind::Snapshot) on I/O failure.
+ */
+void writeSnapshotFile(const std::string &path,
+                       const std::string &container);
+
+/**
+ * Read a sisnap container from @p path.
+ * @throws SimError(ErrorKind::Snapshot) when the file is unreadable.
+ */
+std::string readSnapshotFile(const std::string &path);
+
+} // namespace si
+
+#endif // SI_SNAPSHOT_SNAPSHOT_HH

@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Checkpoint/restore tests: the sisnap-v1 container round-trips every
+ * primitive and fails loudly on any corruption; component and whole-GPU
+ * snapshots restore bit-exactly; fingerprint mismatches (wrong config,
+ * wrong program) are rejected instead of resurrecting a wrong machine;
+ * and the deterministic-replay validator blesses real kernels.
+ */
+
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/gpu.hh"
+#include "isa/assembler.hh"
+#include "mem/cache.hh"
+#include "mem/memory.hh"
+#include "snapshot/replay.hh"
+#include "snapshot/snapshot.hh"
+
+namespace si {
+namespace {
+
+using ::testing::HasSubstr;
+
+// Divergent load-heavy kernel: long enough (hundreds of cycles) that a
+// mid-run checkpoint freezes genuinely in-flight state — pending
+// writebacks, split subwarps, partially-retired warps.
+const char *kDivergentLoads = R"(
+S2R R0, LANEID
+ISETP.LT P0, R0, 16
+BSSY B0, join
+@P0 BRA taken
+MOV R1, 0x100000
+LDG R2, [R1+0] &wr=sb0
+FADD R3, R2, R2 &req=sb0
+BSYNC B0
+join:
+EXIT
+taken:
+MOV R1, 0x200000
+LDG R2, [R1+0] &wr=sb1
+FADD R3, R2, R2 &req=sb1
+LDG R4, [R1+8] &wr=sb2
+FADD R5, R4, R4 &req=sb2
+BSYNC B0
+BRA join
+)";
+
+std::string
+tempPath(const char *stem)
+{
+    return std::string(::testing::TempDir()) + stem;
+}
+
+TEST(SnapshotContainer, PrimitivesRoundTrip)
+{
+    SnapshotWriter w;
+    w.tag(SnapTag::Meta);
+    w.u8(0xab);
+    w.u16(0xbeef);
+    w.u32(0xdeadbeefu);
+    w.u64(0x0123456789abcdefull);
+    w.f64(-1234.5678);
+    w.b(true);
+    w.b(false);
+    w.str("hello \x01 world");
+    w.tag(SnapTag::End);
+
+    const std::string container = w.finish();
+    SnapshotReader r(container);
+    r.tag(SnapTag::Meta);
+    EXPECT_EQ(r.u8(), 0xab);
+    EXPECT_EQ(r.u16(), 0xbeef);
+    EXPECT_EQ(r.u32(), 0xdeadbeefu);
+    EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+    EXPECT_EQ(r.f64(), -1234.5678);
+    EXPECT_TRUE(r.b());
+    EXPECT_FALSE(r.b());
+    EXPECT_EQ(r.str(), "hello \x01 world");
+    r.tag(SnapTag::End);
+    EXPECT_NO_THROW(r.expectEnd());
+}
+
+TEST(SnapshotContainer, BadMagicRejected)
+{
+    SnapshotWriter w;
+    w.u32(7);
+    std::string container = w.finish();
+    container[0] ^= 0x20;
+    try {
+        SnapshotReader r(container);
+        FAIL() << "corrupt magic accepted";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.status().kind, ErrorKind::Snapshot);
+    }
+}
+
+TEST(SnapshotContainer, TruncationRejected)
+{
+    SnapshotWriter w;
+    w.u64(42);
+    const std::string container = w.finish();
+    for (std::size_t cut = 0; cut < container.size(); ++cut) {
+        try {
+            SnapshotReader r(container.substr(0, cut));
+            FAIL() << "truncated container (len " << cut << ") accepted";
+        } catch (const SimError &e) {
+            EXPECT_EQ(e.status().kind, ErrorKind::Snapshot);
+        }
+    }
+}
+
+TEST(SnapshotContainer, PayloadBitflipFailsChecksum)
+{
+    SnapshotWriter w;
+    w.str("payload payload payload");
+    std::string container = w.finish();
+    container[container.size() - 3] ^= 0x01;
+    try {
+        SnapshotReader r(container);
+        FAIL() << "bit-flipped payload accepted";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.status().kind, ErrorKind::Snapshot);
+        EXPECT_THAT(e.status().message, HasSubstr("checksum"));
+    }
+}
+
+TEST(SnapshotContainer, TagMismatchRejected)
+{
+    SnapshotWriter w;
+    w.tag(SnapTag::Warp);
+    const std::string container = w.finish();
+    SnapshotReader r(container);
+    try {
+        r.tag(SnapTag::Cache);
+        FAIL() << "wrong section tag accepted";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.status().kind, ErrorKind::Snapshot);
+    }
+}
+
+TEST(SnapshotContainer, TrailingGarbageRejected)
+{
+    SnapshotWriter w;
+    w.u32(1);
+    w.u32(2); // reader will consume only one
+    const std::string container = w.finish();
+    SnapshotReader r(container);
+    r.u32();
+    EXPECT_THROW(r.expectEnd(), SimError);
+}
+
+TEST(SnapshotContainer, FileRoundTripIsBitExact)
+{
+    SnapshotWriter w;
+    w.tag(SnapTag::Memory);
+    w.str(std::string("\x00\xff\x7f binary", 10));
+    const std::string container = w.finish();
+    const std::string path = tempPath("snap_file_roundtrip.ckpt");
+    writeSnapshotFile(path, container);
+    EXPECT_EQ(readSnapshotFile(path), container);
+    std::remove(path.c_str());
+}
+
+TEST(SnapshotMemory, RoundTripAndOverwrite)
+{
+    Memory a;
+    a.write(0x1000, 0xdeadbeefu);
+    a.write(0x2004, 7);
+    a.writeF(0x3000, 1.5f);
+
+    SnapshotWriter w;
+    a.save(w);
+    const std::string container = w.finish();
+
+    Memory b;
+    b.write(0x9999 & ~3u, 1); // stale content must not survive restore
+    SnapshotReader r(container);
+    b.restore(r);
+
+    Addr diff = 0;
+    EXPECT_FALSE(a.firstDifference(b, diff)) << "first diff at " << diff;
+    EXPECT_EQ(b.read(0x9999 & ~3u), 0u);
+}
+
+TEST(SnapshotCache, CountersAndRecencyRoundTrip)
+{
+    CacheConfig cc;
+    cc.sizeBytes = 4 * 1024;
+    cc.lineBytes = 128;
+    cc.assoc = 2;
+    Cache a(cc);
+    for (Addr addr = 0; addr < 64 * 128; addr += 128)
+        a.access(addr);
+    a.access(0); // re-touch: recency now differs from fill order
+
+    SnapshotWriter w;
+    a.save(w);
+    const std::string container = w.finish();
+
+    Cache b(cc);
+    SnapshotReader r(container);
+    b.restore(r);
+    EXPECT_EQ(b.hits(), a.hits());
+    EXPECT_EQ(b.misses(), a.misses());
+    for (Addr addr = 0; addr < 64 * 128; addr += 128)
+        EXPECT_EQ(b.probe(addr), a.probe(addr)) << "line " << addr;
+}
+
+TEST(SnapshotCache, GeometryMismatchRejected)
+{
+    CacheConfig cc;
+    Cache a(cc);
+    SnapshotWriter w;
+    a.save(w);
+    const std::string container = w.finish();
+
+    cc.assoc *= 2;
+    Cache b(cc);
+    SnapshotReader r(container);
+    try {
+        b.restore(r);
+        FAIL() << "geometry mismatch accepted";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.status().kind, ErrorKind::Snapshot);
+    }
+}
+
+/** Run the kernel once, freezing a one-shot checkpoint at @p at. */
+std::string
+checkpointAt(const GpuConfig &base, const Program &prog, Cycle at,
+             GpuResult *fresh_out = nullptr)
+{
+    GpuConfig cfg = base;
+    std::string container;
+    cfg.checkpointInterval = 1;
+    cfg.checkpointHook = [&container, at](const Gpu &gpu, Cycle now) {
+        if (now != at || !container.empty())
+            return;
+        SnapshotWriter w;
+        gpu.save(w);
+        container = w.finish();
+    };
+    Memory mem;
+    const GpuResult r = simulate(cfg, mem, prog, {8, 4});
+    EXPECT_TRUE(r.ok()) << r.status.summary();
+    if (fresh_out)
+        *fresh_out = r;
+    return container;
+}
+
+TEST(SnapshotGpu, MidRunCheckpointResumesBitExactly)
+{
+    const Program prog = assembleOrDie(kDivergentLoads);
+    GpuConfig cfg;
+    cfg.numSms = 1;
+    cfg.siEnabled = true;
+    cfg.yieldEnabled = true;
+
+    GpuResult fresh;
+    const std::string container = checkpointAt(cfg, prog, 50, &fresh);
+    ASSERT_FALSE(container.empty()) << "kernel retired before cycle 50";
+
+    Memory mem;
+    Gpu gpu(cfg, mem);
+    SnapshotReader r(container);
+    const GpuResult resumed =
+        gpu.resumeMulti({{&prog, {8, 4}}}, r);
+
+    ASSERT_TRUE(resumed.ok()) << resumed.status.summary();
+    EXPECT_EQ(resumed.cycles, fresh.cycles);
+    EXPECT_EQ(resumed.total.instrsIssued, fresh.total.instrsIssued);
+    EXPECT_EQ(resumed.total.warpsRetired, fresh.total.warpsRetired);
+    EXPECT_EQ(resumed.total.subwarpSelects, fresh.total.subwarpSelects);
+    EXPECT_TRUE(resumed.total == fresh.total);
+}
+
+TEST(SnapshotGpu, ConfigFingerprintMismatchRejected)
+{
+    const Program prog = assembleOrDie(kDivergentLoads);
+    GpuConfig cfg;
+    cfg.numSms = 1;
+    const std::string container = checkpointAt(cfg, prog, 50);
+    ASSERT_FALSE(container.empty());
+
+    GpuConfig other = cfg;
+    other.siEnabled = true; // different machine; restore must refuse
+    Memory mem;
+    Gpu gpu(other, mem);
+    SnapshotReader r(container);
+    const GpuResult res = gpu.resumeMulti({{&prog, {8, 4}}}, r);
+    EXPECT_FALSE(res.ok());
+    EXPECT_EQ(res.status.kind, ErrorKind::Snapshot);
+    EXPECT_THAT(res.status.message, HasSubstr("config"));
+}
+
+TEST(SnapshotGpu, ProgramFingerprintMismatchRejected)
+{
+    const Program prog = assembleOrDie(kDivergentLoads);
+    GpuConfig cfg;
+    cfg.numSms = 1;
+    const std::string container = checkpointAt(cfg, prog, 50);
+    ASSERT_FALSE(container.empty());
+
+    const Program other = assembleOrDie(R"(
+MOV R1, 0x100000
+LDG R2, [R1+0] &wr=sb0
+FADD R3, R2, R2 &req=sb0
+EXIT
+)");
+    Memory mem;
+    Gpu gpu(cfg, mem);
+    SnapshotReader r(container);
+    const GpuResult res = gpu.resumeMulti({{&other, {8, 4}}}, r);
+    EXPECT_FALSE(res.ok());
+    EXPECT_EQ(res.status.kind, ErrorKind::Snapshot);
+}
+
+TEST(SnapshotGpu, LaunchGeometryMismatchRejected)
+{
+    const Program prog = assembleOrDie(kDivergentLoads);
+    GpuConfig cfg;
+    cfg.numSms = 1;
+    const std::string container = checkpointAt(cfg, prog, 50);
+    ASSERT_FALSE(container.empty());
+
+    Memory mem;
+    Gpu gpu(cfg, mem);
+    SnapshotReader r(container);
+    const GpuResult res = gpu.resumeMulti({{&prog, {4, 4}}}, r);
+    EXPECT_FALSE(res.ok());
+    EXPECT_EQ(res.status.kind, ErrorKind::Snapshot);
+}
+
+TEST(ReplayValidator, BlessesDeterministicKernel)
+{
+    const Program prog = assembleOrDie(kDivergentLoads);
+    GpuConfig cfg;
+    cfg.numSms = 1;
+    cfg.siEnabled = true;
+    cfg.yieldEnabled = true;
+
+    const ReplayCheckResult rep =
+        validateDeterministicReplay(cfg, {{&prog, {8, 4}}});
+    EXPECT_TRUE(rep.ok()) << rep.detail;
+    EXPECT_TRUE(rep.checkpointTaken);
+    EXPECT_GT(rep.checkpointCycle, 0u);
+    EXPECT_GT(rep.cycles, rep.checkpointCycle);
+}
+
+TEST(ReplayValidator, HonorsExplicitCheckpointCycle)
+{
+    const Program prog = assembleOrDie(kDivergentLoads);
+    GpuConfig cfg;
+    cfg.numSms = 1;
+
+    ReplayCheckOptions opts;
+    opts.checkpointCycle = 17;
+    const ReplayCheckResult rep =
+        validateDeterministicReplay(cfg, {{&prog, {8, 4}}}, opts);
+    EXPECT_TRUE(rep.ok()) << rep.detail;
+    EXPECT_TRUE(rep.checkpointTaken);
+    EXPECT_EQ(rep.checkpointCycle, 17u);
+}
+
+} // namespace
+} // namespace si

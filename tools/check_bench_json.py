@@ -1,13 +1,16 @@
 #!/usr/bin/env python3
-"""Validate si-bench-v1 JSON emitted by the bench binaries (--json).
+"""Validate the simulator's machine-readable JSON documents: si-bench-v1
+(bench binaries, --json) and si-campaign-v1 (campaign manifests,
+swsim --campaign-state).
 
-Usage: check_bench_json.py SCHEMA.json BENCH.json [BENCH.json ...]
+Usage: check_bench_json.py SCHEMA.json DOC.json [DOC.json ...]
 
 Pure standard library — implements the small subset of JSON Schema the
-checked-in tools/bench_schema.json uses (type, const, required,
-properties, additionalProperties, items, minItems), plus one structural
-rule the schema language cannot express: every table row must have
-exactly as many cells as the table has columns.
+checked-in schemas use (type, const, enum, required, properties,
+additionalProperties, items, minItems), plus structural rules the schema
+language cannot express: every si-bench-v1 table row must have exactly
+as many cells as the table has columns, and an si-campaign-v1 header's
+done/failed counts must match its cells array.
 
 Exit status: 0 if every file validates, 1 otherwise.
 """
@@ -36,6 +39,11 @@ def validate(value, schema, path, errors):
     """Append 'path: message' strings to errors; recurse per subset."""
     if "const" in schema and value != schema["const"]:
         errors.append("%s: expected %r, got %r" % (path, schema["const"], value))
+        return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(
+            "%s: expected one of %r, got %r" % (path, schema["enum"], value)
+        )
         return
     if "type" in schema and not type_ok(value, schema["type"]):
         errors.append(
@@ -80,6 +88,28 @@ def check_tables(doc, errors):
                 )
 
 
+def check_campaign(doc, errors):
+    """si-campaign-v1 rule: header counts must match the cells array,
+    and a complete campaign may not contain pending cells."""
+    if not isinstance(doc, dict) or doc.get("schema") != "si-campaign-v1":
+        return
+    cells = [c for c in doc.get("cells", []) if isinstance(c, dict)]
+    done = sum(1 for c in cells if c.get("state") == "done")
+    failed = sum(1 for c in cells if c.get("state") == "failed")
+    if doc.get("done") != done:
+        errors.append(
+            "$.done: header says %r but %d cells are done" % (doc.get("done"), done)
+        )
+    if doc.get("failed") != failed:
+        errors.append(
+            "$.failed: header says %r but %d cells are failed"
+            % (doc.get("failed"), failed)
+        )
+    pending = sum(1 for c in cells if c.get("state") == "pending")
+    if doc.get("complete") is True and pending:
+        errors.append("$.complete: true, but %d cells are pending" % pending)
+
+
 def main(argv):
     if len(argv) < 3:
         sys.stderr.write(
@@ -100,6 +130,7 @@ def main(argv):
         if doc is not None:
             validate(doc, schema, "$", errors)
             check_tables(doc, errors)
+            check_campaign(doc, errors)
         if errors:
             failed = True
             for err in errors:

@@ -29,6 +29,12 @@
  *                      is supposed to emit spotless programs), and
  *                      cross-checks the two oracles: any kernel the
  *                      verifier blesses must also agree dynamically.
+ *   --snapshot         additionally validate the determinism contract
+ *                      (third oracle): each kernel runs fresh, fresh
+ *                      with a mid-run checkpoint, and restored from that
+ *                      checkpoint, on a baseline and an SI config point;
+ *                      any divergence in final memory, registers, stats,
+ *                      or retirement traces fails the seed.
  *   --dump             print each generated kernel before testing
  *   -v                 per-seed progress output
  *
@@ -43,6 +49,7 @@
 
 #include "common/log.hh"
 #include "ref/difftest.hh"
+#include "snapshot/replay.hh"
 #include "verify/verifier.hh"
 
 namespace {
@@ -53,7 +60,8 @@ usage()
     std::fprintf(stderr,
                  "usage: difftest [--seeds N] [--seed S] [--shrink]\n"
                  "                [--inject scoreboard|dropwb|barrier] "
-                 "[--verify] [--dump] [-v]\n");
+                 "[--verify] [--snapshot]\n"
+                 "                [--dump] [-v]\n");
 }
 
 bool
@@ -78,6 +86,7 @@ main(int argc, char **argv)
     std::uint64_t first_seed = 1;
     bool shrink = false;
     bool verify = false;
+    bool snapshot = false;
     bool dump = false;
     bool verbose = false;
     si::DiffOptions opts;
@@ -103,6 +112,8 @@ main(int argc, char **argv)
             shrink = true;
         } else if (arg == "--verify") {
             verify = true;
+        } else if (arg == "--snapshot") {
+            snapshot = true;
         } else if (arg == "--dump") {
             dump = true;
         } else if (arg == "-v") {
@@ -136,12 +147,33 @@ main(int argc, char **argv)
                      "difftest: --verify and --inject are exclusive\n");
         return 1;
     }
+    if (snapshot && opts.inject) {
+        // The injector fires once per injector, not once per leg, so an
+        // injected run is non-deterministic across legs by construction.
+        std::fprintf(stderr,
+                     "difftest: --snapshot and --inject are exclusive\n");
+        return 1;
+    }
 
     unsigned failures = 0;
     unsigned fired = 0;
     unsigned escaped_ok = 0;
     unsigned lint_rejected = 0;
     unsigned blessed_diverged = 0;
+    unsigned snap_checked = 0;
+    unsigned snap_checkpointed = 0;
+    unsigned snap_diverged = 0;
+
+    // The determinism contract is checked on one baseline and one SI
+    // point of the matrix; the full matrix would triple an already
+    // three-legged run for little extra coverage.
+    std::vector<si::DiffPoint> snap_points;
+    if (snapshot) {
+        for (const si::DiffPoint &pt : si::diffMatrix()) {
+            if (pt.name == "base-slots4" || pt.name == "si-slots4")
+                snap_points.push_back(pt);
+        }
+    }
     for (std::uint64_t s = first_seed; s < first_seed + num_seeds; ++s) {
         const si::Program prog = si::generateKernel(s);
         if (dump) {
@@ -177,6 +209,38 @@ main(int argc, char **argv)
                         (unsigned long long)s);
         }
 
+        bool snap_bad = false;
+        for (const si::DiffPoint &pt : snap_points) {
+            si::ReplayCheckOptions ropts;
+            ropts.initMemory = [&opts](si::Memory &m) {
+                m = si::makeInputImage(opts.imageSeed);
+            };
+            const std::vector<si::KernelLaunch> kernels = {
+                {&prog, {opts.numWarps, opts.warpsPerCta}}};
+            const si::ReplayCheckResult rep =
+                si::validateDeterministicReplay(pt.config, kernels,
+                                                ropts);
+            ++snap_checked;
+            snap_checkpointed += rep.checkpointTaken ? 1 : 0;
+            if (!rep.ok()) {
+                snap_bad = true;
+                ++snap_diverged;
+                std::printf("seed %llu: replay NOT deterministic at %s "
+                            "(checkpoint @%llu of %llu cycles)\n"
+                            "  detail: %s\n",
+                            (unsigned long long)s, pt.name.c_str(),
+                            (unsigned long long)rep.checkpointCycle,
+                            (unsigned long long)rep.cycles,
+                            rep.detail.c_str());
+            } else if (verbose) {
+                std::printf("seed %llu: replay deterministic at %s "
+                            "(checkpoint @%llu of %llu cycles)\n",
+                            (unsigned long long)s, pt.name.c_str(),
+                            (unsigned long long)rep.checkpointCycle,
+                            (unsigned long long)rep.cycles);
+            }
+        }
+
         bool bad;
         if (opts.inject) {
             // A fired fault that still agrees escaped the oracle; an
@@ -192,6 +256,7 @@ main(int argc, char **argv)
         } else {
             bad = !r.agree;
         }
+        bad = bad || snap_bad;
 
         if (verbose || bad) {
             std::printf("seed %llu: %s%s\n", (unsigned long long)s,
@@ -213,7 +278,7 @@ main(int argc, char **argv)
         }
         std::printf("%s", prog.sourceText().c_str());
 
-        if (shrink && !opts.inject) {
+        if (shrink && !opts.inject && !r.agree) {
             const si::DiffOptions sopts = opts;
             const si::Program small = si::shrinkProgram(
                 prog, [&](const si::Program &p) {
@@ -249,6 +314,18 @@ main(int argc, char **argv)
         std::printf("difftest: verifier rejected %u kernels, "
                     "%u blessed kernels diverged dynamically\n",
                     lint_rejected, blessed_diverged);
+    }
+    if (snapshot) {
+        std::printf("difftest: replay oracle: %u runs, %u mid-run "
+                    "checkpoints frozen, %u non-deterministic\n",
+                    snap_checked, snap_checkpointed, snap_diverged);
+        if (snap_checkpointed == 0) {
+            // Every kernel retiring before any checkpoint could freeze
+            // would mean the oracle never exercised restore at all.
+            std::printf("difftest: replay oracle never froze a "
+                        "checkpoint — treating as failure\n");
+            return 1;
+        }
     }
     return failures == 0 ? 0 : 1;
 }

@@ -24,6 +24,21 @@
  *   --stats            dump full statistics
  *   --stats-json FILE  write machine-readable statistics (si-stats-v1);
  *                      FILE = - writes to stdout
+ *   --checkpoint-every N  write a sisnap-v1 checkpoint every N cycles
+ *   --checkpoint FILE  checkpoint path (default KERNEL.sasm.ckpt)
+ *   --resume FILE      restore a checkpoint and continue the run; the
+ *                      resumed run is bit-exact with an uninterrupted one
+ *   --campaign-state DIR  campaign mode: sweep baseline + the six SI
+ *                      configurations over this kernel, one forked child
+ *                      per cell, with a resumable si-campaign-v1
+ *                      manifest in DIR (exit 0 complete, 2 cells left)
+ *   --campaign-resume  continue the campaign recorded in DIR
+ *   --campaign-cells N stop after N cells (forces a mid-campaign
+ *                      restart; finish later with --campaign-resume)
+ *   --campaign-timeout SEC  per-cell wall budget (SIGKILL on overrun)
+ *   --campaign-retries N    retries for transiently-failed cells
+ *   --campaign-inject K     inject fault K into each cell's first
+ *                      attempt (soak testing: retries must recover)
  *   --trace            print the per-issue timeline
  *   --trace-out FILE   record the trace-event stream (bounded ring
  *                      buffer) and write a Chrome trace_event JSON,
@@ -43,12 +58,16 @@
 #include <sstream>
 #include <string>
 
+#include <memory>
+
 #include "common/log.hh"
 #include "fault/injector.hh"
+#include "harness/campaign.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
 #include "isa/assembler.hh"
 #include "isa/stall_hints.hh"
+#include "snapshot/snapshot.hh"
 #include "trace/chrome_trace.hh"
 #include "trace/sinks.hh"
 
@@ -66,7 +85,13 @@ usage()
                  "[--stats]\n"
                  "             [--stats-json FILE] [--trace] "
                  "[--trace-out FILE]\n"
-                 "             [--trace-ring N] [--disasm] [--compare]\n");
+                 "             [--trace-ring N] [--disasm] [--compare]\n"
+                 "             [--checkpoint-every N] [--checkpoint FILE]"
+                 " [--resume FILE]\n"
+                 "             [--campaign-state DIR] [--campaign-resume]"
+                 " [--campaign-cells N]\n"
+                 "             [--campaign-timeout SEC] "
+                 "[--campaign-retries N] [--campaign-inject K]\n");
 }
 
 /** --trace: print each issue as it happens. */
@@ -139,6 +164,27 @@ main(int argc, char **argv)
     bool inject = false;
     std::string stats_json_path, trace_out_path;
     si::FaultKind fault_kind = si::FaultKind::ScoreboardCorruption;
+    unsigned checkpoint_every = 0;
+    std::string checkpoint_path, resume_path;
+    std::string campaign_dir;
+    bool campaign_resume = false;
+    bool campaign_inject = false;
+    si::FaultKind campaign_fault = si::FaultKind::DroppedWriteback;
+    unsigned campaign_cells = 0, campaign_timeout = 0;
+    unsigned campaign_retries = 2;
+
+    auto parse_fault_kind = [](const std::string &k,
+                               si::FaultKind &out) {
+        if (k == "scoreboard")
+            out = si::FaultKind::ScoreboardCorruption;
+        else if (k == "dropwb")
+            out = si::FaultKind::DroppedWriteback;
+        else if (k == "barrier")
+            out = si::FaultKind::BarrierMaskCorruption;
+        else
+            return false;
+        return true;
+    };
 
     for (int i = 2; i < argc; ++i) {
         const std::string a = argv[i];
@@ -204,23 +250,49 @@ main(int argc, char **argv)
         } else if (a == "--check-invariants") {
             cfg.checkInvariants = true;
         } else if (a == "--inject") {
+            if (i + 1 >= argc || !parse_fault_kind(argv[++i],
+                                                   fault_kind)) {
+                std::fprintf(stderr, "swsim: --inject needs "
+                                     "scoreboard|dropwb|barrier\n");
+                return 1;
+            }
+            inject = true;
+        } else if (a == "--checkpoint-every") {
+            next_uint(checkpoint_every);
+        } else if (a == "--checkpoint") {
             if (i + 1 >= argc) {
                 usage();
                 return 1;
             }
-            const std::string k = argv[++i];
-            if (k == "scoreboard")
-                fault_kind = si::FaultKind::ScoreboardCorruption;
-            else if (k == "dropwb")
-                fault_kind = si::FaultKind::DroppedWriteback;
-            else if (k == "barrier")
-                fault_kind = si::FaultKind::BarrierMaskCorruption;
-            else {
-                std::fprintf(stderr, "swsim: bad fault kind '%s'\n",
-                             k.c_str());
+            checkpoint_path = argv[++i];
+        } else if (a == "--resume") {
+            if (i + 1 >= argc) {
+                usage();
                 return 1;
             }
-            inject = true;
+            resume_path = argv[++i];
+        } else if (a == "--campaign-state") {
+            if (i + 1 >= argc) {
+                usage();
+                return 1;
+            }
+            campaign_dir = argv[++i];
+        } else if (a == "--campaign-resume") {
+            campaign_resume = true;
+        } else if (a == "--campaign-cells") {
+            next_uint(campaign_cells);
+        } else if (a == "--campaign-timeout") {
+            next_uint(campaign_timeout);
+        } else if (a == "--campaign-retries") {
+            next_uint(campaign_retries);
+        } else if (a == "--campaign-inject") {
+            if (i + 1 >= argc || !parse_fault_kind(argv[++i],
+                                                   campaign_fault)) {
+                std::fprintf(stderr, "swsim: --campaign-inject needs "
+                                     "scoreboard|dropwb|barrier\n");
+                return 1;
+            }
+            campaign_inject = true;
         } else if (a == "--stats") {
             dump_stats = true;
         } else if (a == "--stats-json") {
@@ -330,15 +402,136 @@ main(int argc, char **argv)
                          run.result.status.summary().c_str());
             return 1;
         }
-        std::printf("caught: [%s] %s\n",
+        // Name the detector that tripped, not just the error class: a
+        // livelock watchdog catch and an invariant-checker catch demand
+        // different follow-up.
+        std::printf("caught: [%s] by %s: %s\n",
                     si::errorKindName(run.result.status.kind),
+                    si::errorDetectorName(run.result.status.kind),
                     run.result.status.message.c_str());
         return 0;
     }
 
+    if (!campaign_dir.empty()) {
+        // Campaign mode: baseline + the paper's six SI points over this
+        // kernel, each cell in a forked child, resumable via the
+        // si-campaign-v1 manifest in campaign_dir.
+        si::Workload wl;
+        wl.name = prog.name();
+        wl.program = prog;
+        wl.launch = {warps, 4};
+        wl.memory = std::make_shared<si::Memory>();
+
+        si::GpuConfig base = cfg;
+        base.siEnabled = false;
+        base.yieldEnabled = false;
+        base.traceSink = nullptr;
+        std::vector<std::pair<std::string, si::GpuConfig>> configs;
+        configs.emplace_back("baseline", base);
+        for (const si::SiConfigPoint &p : si::siConfigPoints())
+            configs.emplace_back(p.label, si::withSi(base, p));
+
+        si::CampaignOptions opts;
+        opts.stateDir = campaign_dir;
+        opts.cellTimeoutSec = campaign_timeout;
+        opts.maxRetries = campaign_retries;
+        opts.checkpointEvery = checkpoint_every;
+        opts.resume = campaign_resume;
+        opts.maxCellsThisRun = campaign_cells;
+        if (campaign_inject) {
+            // Soak mode: each cell's FIRST attempt gets a live fault
+            // injected; the retry runs clean, so a healthy campaign
+            // converges to all-done. The injector leaks into the hook
+            // on purpose — it must outlive the child's whole run.
+            opts.faultInjectionActive = true;
+            opts.childConfigHook =
+                [campaign_fault](si::GpuConfig &c,
+                                 const si::CampaignCellRecord &,
+                                 unsigned attempt) {
+                    if (attempt > 1)
+                        return;
+                    auto inj = std::make_shared<si::FaultInjector>(
+                        si::FaultSpec{campaign_fault, 500, c.rngSeed});
+                    c.faultHook = [inj, h = inj->hook()](
+                                      si::Gpu &gpu, si::Cycle now) {
+                        h(gpu, now);
+                    };
+                    c.checkInvariants = true;
+                };
+        }
+
+        si::CampaignRunner runner({wl}, configs, opts);
+        const si::CampaignReport report = runner.run();
+        for (const auto &cell : report.cells) {
+            if (cell.done())
+                std::printf("  %-12s %-12s done    %llu cycles "
+                            "(%u attempt%s)\n",
+                            cell.workload.c_str(),
+                            cell.configLabel.c_str(),
+                            static_cast<unsigned long long>(cell.cycles),
+                            cell.attempts, cell.attempts == 1 ? "" : "s");
+            else if (cell.failed())
+                std::printf("  %-12s %-12s FAILED  [%s] %s "
+                            "(flagged by %s)\n",
+                            cell.workload.c_str(),
+                            cell.configLabel.c_str(),
+                            si::errorKindName(cell.kind),
+                            cell.detail.c_str(), cell.diagnosis.c_str());
+            else
+                std::printf("  %-12s %-12s pending\n",
+                            cell.workload.c_str(),
+                            cell.configLabel.c_str());
+        }
+        std::printf("campaign: %u done, %u failed, %zu cells; "
+                    "manifest %s\n",
+                    report.numDone(), report.numFailed(),
+                    report.cells.size(), report.manifestPath.c_str());
+        if (!report.complete) {
+            std::printf("campaign: cells remain; finish with "
+                        "--campaign-resume\n");
+            return 2;
+        }
+        return report.numFailed() ? 1 : 0;
+    }
+
+    if (checkpoint_every) {
+        if (checkpoint_path.empty())
+            checkpoint_path = path + ".ckpt";
+        cfg.checkpointInterval = checkpoint_every;
+        cfg.checkpointHook = [&checkpoint_path](const si::Gpu &gpu,
+                                                si::Cycle) {
+            si::SnapshotWriter w;
+            gpu.save(w);
+            si::writeSnapshotFile(checkpoint_path, w.finish());
+        };
+    }
+
     si::Memory mem;
-    const si::GpuResult r =
-        si::simulate(cfg, mem, prog, {warps, 4});
+    si::GpuResult r;
+    if (!resume_path.empty() || checkpoint_every) {
+        // Explicit machine so the run can be frozen and/or thawed.
+        si::Gpu gpu(cfg, mem);
+        const std::vector<si::KernelLaunch> kernels = {
+            {&prog, {warps, 4}}};
+        if (!resume_path.empty()) {
+            try {
+                const std::string container =
+                    si::readSnapshotFile(resume_path);
+                si::SnapshotReader reader(container);
+                r = gpu.resumeMulti(kernels, reader);
+            } catch (const si::SimError &e) {
+                // Unreadable/corrupt container; resumeMulti itself
+                // absorbs restore-time mismatches into r.status.
+                std::fprintf(stderr, "swsim: %s\n",
+                             e.status().summary().c_str());
+                return 1;
+            }
+        } else {
+            r = gpu.runMulti(kernels);
+        }
+    } else {
+        r = si::simulate(cfg, mem, prog, {warps, 4});
+    }
     write_trace();
     if (!stats_json_path.empty())
         writeFile(stats_json_path, si::statsJson(r, prog.name()));
