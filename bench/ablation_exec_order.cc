@@ -105,37 +105,60 @@ main(int argc, char **argv)
         {"randomized", si::DivergeOrder::Random},
         {"software stall hints", si::DivergeOrder::HintStallFirst},
     };
-    for (const auto &o : orders) {
-        const double base = runSkewed(o.order, false);
-        const double with_si = runSkewed(o.order, true);
-        t1.row({o.label, si::TablePrinter::num(base, 0),
-                si::TablePrinter::num(with_si, 0),
-                si::TablePrinter::pct((base / with_si - 1.0) * 100.0)});
-    }
+    struct SkewedPoint
+    {
+        double base, si;
+    };
+    si::parallel::mapIndexed<SkewedPoint>(
+        bj.jobs(), std::size(orders),
+        [&](std::size_t i) {
+            return SkewedPoint{runSkewed(orders[i].order, false),
+                               runSkewed(orders[i].order, true)};
+        },
+        [&](std::size_t i, const SkewedPoint &p) {
+            t1.row({orders[i].label, si::TablePrinter::num(p.base, 0),
+                    si::TablePrinter::num(p.si, 0),
+                    si::TablePrinter::pct((p.base / p.si - 1.0) *
+                                          100.0)});
+        });
     t1.print();
 
     // ---- experiment 2: the application suite ----
     si::TablePrinter t2("Ablation: mean app speedup by diverge order "
                         "(Both,N>=0.5, lat=600)");
     t2.header({"diverge order", "mean speedup"});
-    for (const auto &o : orders) {
-        std::vector<double> speedups;
-        for (si::AppId id : si::allApps()) {
-            si::Workload wl = si::buildApp(id);
+    // Flattened order-major grid, index order = the serial loop nest.
+    const std::vector<si::AppId> &ids = si::allApps();
+    const std::size_t napps = ids.size();
+    std::vector<double> speedups;
+    si::parallel::mapIndexed<double>(
+        bj.jobs(), std::size(orders) * napps,
+        [&](std::size_t k) {
+            const OrderPoint &o = orders[k / napps];
+            si::Workload wl = si::buildApp(ids[k % napps]);
             if (o.order == si::DivergeOrder::HintStallFirst)
                 si::annotateStallHints(wl.program);
             si::GpuConfig base = si::baselineConfig();
             base.divergeOrder = o.order;
-            si::GpuConfig si_cfg = si::withSi(base, si::bestSiConfigPoint());
+            si::GpuConfig si_cfg =
+                si::withSi(base, si::bestSiConfigPoint());
             const si::GpuResult rb = si::runWorkload(wl, base);
             const si::GpuResult rs = si::runWorkload(wl, si_cfg);
-            speedups.push_back(si::speedupPct(rb, rs));
-            std::fprintf(stderr, "  [%s %s]\n", o.label, si::appName(id));
-        }
-        t2.row({o.label, si::TablePrinter::pct(si::mean(speedups))});
-        bj.metric(std::string("mean_speedup_pct/") + o.label,
-                  si::mean(speedups));
-    }
+            return si::speedupPct(rb, rs);
+        },
+        [&](std::size_t k, const double &sp) {
+            const OrderPoint &o = orders[k / napps];
+            speedups.push_back(sp);
+            std::fprintf(stderr, "  [%s %s]\n", o.label,
+                         si::appName(ids[k % napps]));
+            if (k % napps + 1 == napps) {
+                t2.row({o.label,
+                        si::TablePrinter::pct(si::mean(speedups))});
+                bj.metric(std::string("mean_speedup_pct/") + o.label,
+                          si::mean(speedups));
+                speedups.clear();
+            }
+        });
     t2.print();
 
     bj.table(t1);

@@ -33,44 +33,64 @@ main(int argc, char **argv)
     si::MicrobenchConfig mc;
     mc.subwarpSize = 2; // 16-way divergence
     const si::Workload micro = si::buildMicrobench(mc);
-    for (unsigned b : budgets) {
-        si::GpuConfig base = si::baselineConfig();
-        base.maxOutstandingMisses = b;
-        si::GpuConfig si_cfg = si::withSi(
-            base, si::SiConfigPoint{"SOS,N=1", false,
-                                    si::SelectTrigger::AllStalled});
-        const si::GpuResult rb = si::runWorkload(micro, base);
-        const si::GpuResult rs = si::runWorkload(micro, si_cfg);
-        t1.row({label(b), std::to_string(rb.cycles),
-                std::to_string(rs.cycles),
-                si::TablePrinter::num(double(rb.cycles) /
-                                      double(rs.cycles))});
-        std::fprintf(stderr, "  [micro mshr=%s]\n", label(b).c_str());
-    }
+    struct Pair
+    {
+        si::GpuResult base, si;
+    };
+    si::parallel::mapIndexed<Pair>(
+        bj.jobs(), budgets.size(),
+        [&](std::size_t i) {
+            si::GpuConfig base = si::baselineConfig();
+            base.maxOutstandingMisses = budgets[i];
+            si::GpuConfig si_cfg = si::withSi(
+                base, si::SiConfigPoint{"SOS,N=1", false,
+                                        si::SelectTrigger::AllStalled});
+            return Pair{si::runWorkload(micro, base),
+                        si::runWorkload(micro, si_cfg)};
+        },
+        [&](std::size_t i, const Pair &p) {
+            t1.row({label(budgets[i]), std::to_string(p.base.cycles),
+                    std::to_string(p.si.cycles),
+                    si::TablePrinter::num(double(p.base.cycles) /
+                                          double(p.si.cycles))});
+            std::fprintf(stderr, "  [micro mshr=%s]\n",
+                         label(budgets[i]).c_str());
+        });
     t1.print();
 
     // ---- application suite means ----
     si::TablePrinter t2("Ablation: mean app speedup vs MSHR budget "
                         "(Both,N>=0.5, lat=600)");
     t2.header({"MSHRs", "mean speedup"});
-    for (unsigned b : budgets) {
-        si::GpuConfig base = si::baselineConfig();
-        base.maxOutstandingMisses = b;
-        const si::GpuConfig si_cfg =
-            si::withSi(base, si::bestSiConfigPoint());
-        std::vector<double> speedups;
-        for (si::AppId id : si::allApps()) {
-            const si::Workload wl = si::buildApp(id);
+    // Flattened budget-major grid, index order = the serial loop nest.
+    const std::vector<si::AppId> &ids = si::allApps();
+    const std::size_t napps = ids.size();
+    std::vector<double> speedups;
+    si::parallel::mapIndexed<double>(
+        bj.jobs(), budgets.size() * napps,
+        [&](std::size_t k) {
+            si::GpuConfig base = si::baselineConfig();
+            base.maxOutstandingMisses = budgets[k / napps];
+            const si::GpuConfig si_cfg =
+                si::withSi(base, si::bestSiConfigPoint());
+            const si::Workload wl = si::buildApp(ids[k % napps]);
             const si::GpuResult rb = si::runWorkload(wl, base);
             const si::GpuResult rs = si::runWorkload(wl, si_cfg);
-            speedups.push_back(si::speedupPct(rb, rs));
+            return si::speedupPct(rb, rs);
+        },
+        [&](std::size_t k, const double &sp) {
+            const unsigned b = budgets[k / napps];
+            speedups.push_back(sp);
             std::fprintf(stderr, "  [mshr=%s %s]\n", label(b).c_str(),
-                         si::appName(id));
-        }
-        t2.row({label(b), si::TablePrinter::pct(si::mean(speedups))});
-        bj.metric("mean_speedup_pct/mshr_" + label(b),
-                  si::mean(speedups));
-    }
+                         si::appName(ids[k % napps]));
+            if (k % napps + 1 == napps) {
+                t2.row({label(b),
+                        si::TablePrinter::pct(si::mean(speedups))});
+                bj.metric("mean_speedup_pct/mshr_" + label(b),
+                          si::mean(speedups));
+                speedups.clear();
+            }
+        });
     t2.print();
 
     bj.table(t1);

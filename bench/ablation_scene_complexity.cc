@@ -24,24 +24,35 @@ main(int argc, char **argv)
     t.header({"triangles", "BVH", "RT nodes/query", "baseline cycles",
               "SI speedup"});
 
-    for (unsigned tris : {2000u, 8000u, 32000u}) {
-        for (si::BvhBuilder builder :
-             {si::BvhBuilder::BinnedSah, si::BvhBuilder::MedianSplit}) {
+    // Flattened tris-major, builder-minor grid, matching the serial
+    // loop nest's iteration order.
+    const std::vector<unsigned> tri_counts = {2000u, 8000u, 32000u};
+    const si::BvhBuilder builders[] = {si::BvhBuilder::BinnedSah,
+                                       si::BvhBuilder::MedianSplit};
+    struct Cell
+    {
+        si::GpuResult base, si;
+        double nodesPerQuery;
+    };
+    si::parallel::mapIndexed<Cell>(
+        bj.jobs(), tri_counts.size() * 2,
+        [&](std::size_t k) {
+            const unsigned tris = tri_counts[k / 2];
+            const si::BvhBuilder builder = builders[k % 2];
             si::AppBuild build = si::appBuildConfig(si::AppId::BFV1);
             build.scene.targetTriangles = tris;
             auto scene = si::makeScene(build.scene);
             if (builder == si::BvhBuilder::MedianSplit)
                 scene->bvh = si::Bvh(scene->triangles, builder);
 
-            si::Workload wl =
-                si::buildMegakernel(build.kernel, scene);
+            si::Workload wl = si::buildMegakernel(build.kernel, scene);
             wl.rtc = build.rtc;
 
-            const si::GpuResult rb =
-                si::runWorkload(wl, si::baselineConfig());
-            const si::GpuResult rs = si::runWorkload(
-                wl,
-                si::withSi(si::baselineConfig(), si::bestSiConfigPoint()));
+            Cell c;
+            c.base = si::runWorkload(wl, si::baselineConfig());
+            c.si = si::runWorkload(wl,
+                                   si::withSi(si::baselineConfig(),
+                                              si::bestSiConfigPoint()));
 
             // Average traversal work per query from the functional BVH.
             std::uint64_t nodes = 0;
@@ -55,18 +66,20 @@ main(int argc, char **argv)
                 nodes += ts.nodesVisited;
                 ++probes;
             }
-
-            t.row({std::to_string(tris),
-                   builder == si::BvhBuilder::BinnedSah ? "SAH"
-                                                        : "median",
-                   si::TablePrinter::num(double(nodes) / probes, 1),
-                   std::to_string(rb.cycles),
-                   si::TablePrinter::pct(si::speedupPct(rb, rs))});
+            c.nodesPerQuery = double(nodes) / probes;
+            return c;
+        },
+        [&](std::size_t k, const Cell &c) {
+            const unsigned tris = tri_counts[k / 2];
+            const bool sah = k % 2 == 0;
+            t.row({std::to_string(tris), sah ? "SAH" : "median",
+                   si::TablePrinter::num(c.nodesPerQuery, 1),
+                   std::to_string(c.base.cycles),
+                   si::TablePrinter::pct(
+                       si::speedupPct(c.base, c.si))});
             std::fprintf(stderr, "  [tris=%u %s done]\n", tris,
-                         builder == si::BvhBuilder::BinnedSah ? "sah"
-                                                              : "median");
-        }
-    }
+                         sah ? "sah" : "median");
+        });
     t.print();
 
     bj.table(t);

@@ -29,27 +29,32 @@ main(int argc, char **argv)
     for (std::size_t a = 0; a < si::allApps().size(); ++a)
         rows[a].push_back(si::appName(si::allApps()[a]));
 
-    unsigned col = 0;
-    for (int thr : {0, 1, 2, 4}) {
-        si::GpuConfig cfg = base;
-        cfg.siEnabled = true;
-        cfg.trigger = si::SelectTrigger::HalfStalled;
-        cfg.yieldEnabled = thr > 0;
-        if (thr > 0)
-            cfg.yieldThreshold = unsigned(thr);
-
-        for (std::size_t a = 0; a < si::allApps().size(); ++a) {
-            const si::Workload wl = si::buildApp(si::allApps()[a]);
+    // Flattened threshold-major grid, index order = the serial loops.
+    const std::vector<si::AppId> &ids = si::allApps();
+    const std::vector<int> thresholds = {0, 1, 2, 4};
+    const std::size_t napps = ids.size();
+    si::parallel::mapIndexed<double>(
+        bj.jobs(), thresholds.size() * napps,
+        [&](std::size_t k) {
+            const int thr = thresholds[k / napps];
+            si::GpuConfig cfg = base;
+            cfg.siEnabled = true;
+            cfg.trigger = si::SelectTrigger::HalfStalled;
+            cfg.yieldEnabled = thr > 0;
+            if (thr > 0)
+                cfg.yieldThreshold = unsigned(thr);
+            const si::Workload wl = si::buildApp(ids[k % napps]);
             const si::GpuResult rb = si::runWorkload(wl, base);
             const si::GpuResult rs = si::runWorkload(wl, cfg);
-            const double sp = si::speedupPct(rb, rs);
-            cols[col].push_back(sp);
+            return si::speedupPct(rb, rs);
+        },
+        [&](std::size_t k, const double &sp) {
+            const std::size_t a = k % napps;
+            cols[k / napps].push_back(sp);
             rows[a].push_back(si::TablePrinter::pct(sp));
-            std::fprintf(stderr, "  [thr=%d %s]\n", thr,
-                         si::appName(si::allApps()[a]));
-        }
-        ++col;
-    }
+            std::fprintf(stderr, "  [thr=%d %s]\n",
+                         thresholds[k / napps], si::appName(ids[a]));
+        });
 
     for (auto &r : rows)
         t.row(r);

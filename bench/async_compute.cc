@@ -58,30 +58,38 @@ main(int argc, char **argv)
     const si::Workload compute =
         si::buildComputeKernel(si::ComputeKernel::MatMulTile, 96);
 
+    const std::vector<si::AppId> ids = {si::AppId::BFV1, si::AppId::BFV2,
+                                        si::AppId::MW, si::AppId::AV1,
+                                        si::AppId::MC};
+    struct Cosched
+    {
+        si::GpuResult base, si, dws;
+    };
     std::vector<double> si_gains, dws_gains;
-    for (si::AppId id :
-         {si::AppId::BFV1, si::AppId::BFV2, si::AppId::MW,
-          si::AppId::AV1, si::AppId::MC}) {
-        const si::Workload rt = si::buildApp(id);
-
-        const si::GpuResult rb =
-            runCosched(rt, compute, si::baselineConfig());
-        const si::GpuResult rs = runCosched(
-            rt, compute,
-            si::withSi(si::baselineConfig(), si::bestSiConfigPoint()));
-        const si::GpuResult rd =
-            runCosched(rt, compute, si::withDws(si::baselineConfig()));
-
-        const double si_gain = si::speedupPct(rb, rs);
-        const double dws_gain = si::speedupPct(rb, rd);
-        si_gains.push_back(si_gain);
-        dws_gains.push_back(dws_gain);
-        t.row({si::appName(id), std::to_string(rb.cycles),
-               std::to_string(rs.cycles), si::TablePrinter::pct(si_gain),
-               std::to_string(rd.cycles),
-               si::TablePrinter::pct(dws_gain)});
-        std::fprintf(stderr, "  [%s done]\n", si::appName(id));
-    }
+    si::parallel::mapIndexed<Cosched>(
+        bj.jobs(), ids.size(),
+        [&](std::size_t i) {
+            const si::Workload rt = si::buildApp(ids[i]);
+            return Cosched{
+                runCosched(rt, compute, si::baselineConfig()),
+                runCosched(rt, compute,
+                           si::withSi(si::baselineConfig(),
+                                      si::bestSiConfigPoint())),
+                runCosched(rt, compute,
+                           si::withDws(si::baselineConfig()))};
+        },
+        [&](std::size_t i, const Cosched &c) {
+            const double si_gain = si::speedupPct(c.base, c.si);
+            const double dws_gain = si::speedupPct(c.base, c.dws);
+            si_gains.push_back(si_gain);
+            dws_gains.push_back(dws_gain);
+            t.row({si::appName(ids[i]), std::to_string(c.base.cycles),
+                   std::to_string(c.si.cycles),
+                   si::TablePrinter::pct(si_gain),
+                   std::to_string(c.dws.cycles),
+                   si::TablePrinter::pct(dws_gain)});
+            std::fprintf(stderr, "  [%s done]\n", si::appName(ids[i]));
+        });
     t.row({"mean", "-", "-", si::TablePrinter::pct(si::mean(si_gains)),
            "-", si::TablePrinter::pct(si::mean(dws_gains))});
     t.print();

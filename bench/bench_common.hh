@@ -19,6 +19,7 @@
 #include "harness/campaign.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
+#include "parallel/executor.hh"
 #include "rt/apps.hh"
 
 namespace si::bench {
@@ -47,6 +48,9 @@ class BenchJson
             const std::string a = argv[i];
             if (a == "--json" && i + 1 < argc) {
                 path_ = argv[++i];
+            } else if (a == "--jobs" && i + 1 < argc) {
+                jobs_ = parallel::resolveJobs(
+                    unsigned(std::strtoul(argv[++i], nullptr, 10)));
             } else if (campaign_capable && a == "--campaign-state" &&
                        i + 1 < argc) {
                 campaign_dir_ = argv[++i];
@@ -55,7 +59,7 @@ class BenchJson
             } else {
                 std::fprintf(stderr,
                              "%s: unknown option '%s' "
-                             "(supported: --json FILE%s)\n",
+                             "(supported: --json FILE, --jobs N%s)\n",
                              bench_.c_str(), a.c_str(),
                              campaign_capable
                                  ? ", --campaign-state DIR, "
@@ -65,6 +69,13 @@ class BenchJson
             }
         }
     }
+
+    /**
+     * Worker threads for the sweep (--jobs N; 0 means all cores; the
+     * default is 1, the serial path). Output is byte-identical at any
+     * value — the engine collects by cell index, not completion order.
+     */
+    unsigned jobs() const { return jobs_; }
 
     /** Campaign state directory ("" = run the sweep in-process). */
     const std::string &campaignDir() const { return campaign_dir_; }
@@ -119,6 +130,7 @@ class BenchJson
   private:
     std::string bench_;
     std::string path_;
+    unsigned jobs_ = 1;
     std::string campaign_dir_;
     bool campaign_resume_ = false;
     std::vector<std::string> tables_; ///< pre-serialized JSON objects
@@ -176,21 +188,65 @@ sweepWorkload(const Workload &wl, const GpuConfig &base_config)
  * Run the full ten-trace suite at one baseline config. An app whose run
  * fails is skipped (with a note) rather than aborting the sweep, so the
  * table still comes out for the healthy apps.
+ *
+ * @p jobs sweep cells (one cell = one app at one config point) run
+ * concurrently (1 = serial, 0 = all cores). Results are keyed by cell
+ * index and the per-app progress notes stream in app order, so stderr
+ * and the returned sweeps are byte-identical at any jobs value.
  */
 inline std::vector<AppSweep>
-sweepAllApps(const GpuConfig &base_config)
+sweepAllApps(const GpuConfig &base_config, unsigned jobs = 1)
 {
+    const std::vector<AppId> &ids = allApps();
+    const std::vector<SiConfigPoint> &points = siConfigPoints();
+    const std::size_t per_app = 1 + points.size();
+
+    // Phase 1: scene/trace generation, one cell per app.
+    const std::vector<Workload> apps = parallel::mapIndexed<Workload>(
+        jobs, ids.size(),
+        [&](std::size_t i) { return buildApp(ids[i]); });
+
+    // Phase 2: app x {baseline + SI points} simulation cells. The
+    // in-order sink assembles each AppSweep and emits its progress note
+    // as soon as the app's last cell has been delivered.
+    std::vector<AppSweep> sweeps(ids.size());
+    parallel::mapIndexed<GpuResult>(
+        jobs, ids.size() * per_app,
+        [&](std::size_t k) {
+            const Workload &wl = apps[k / per_app];
+            const std::size_t p = k % per_app;
+            return runWorkload(wl, p == 0 ? base_config
+                                          : withSi(base_config,
+                                                   points[p - 1]));
+        },
+        [&](std::size_t k, const GpuResult &r) {
+            AppSweep &s = sweeps[k / per_app];
+            const std::size_t p = k % per_app;
+            if (p == 0) {
+                s.name = apps[k / per_app].name;
+                s.base = r;
+                if (!r.ok())
+                    s.failure = "base: " + r.status.summary();
+            } else {
+                s.si.push_back(r);
+                if (!r.ok() && s.failure.empty()) {
+                    s.failure = std::string(points[p - 1].label) + ": " +
+                                r.status.summary();
+                }
+            }
+            if (p + 1 < per_app)
+                return;
+            if (s.ok())
+                std::fprintf(stderr, "  [swept %s]\n", s.name.c_str());
+            else
+                std::fprintf(stderr, "  [SKIPPED %s: %s]\n",
+                             s.name.c_str(), s.failure.c_str());
+        });
+
     std::vector<AppSweep> out;
-    for (AppId id : allApps()) {
-        Workload wl = buildApp(id);
-        AppSweep s = sweepWorkload(wl, base_config);
-        if (!s.ok()) {
-            std::fprintf(stderr, "  [SKIPPED %s: %s]\n", s.name.c_str(),
-                         s.failure.c_str());
-            continue;
-        }
-        std::fprintf(stderr, "  [swept %s]\n", s.name.c_str());
-        out.push_back(std::move(s));
+    for (AppSweep &s : sweeps) {
+        if (s.ok())
+            out.push_back(std::move(s));
     }
     return out;
 }
@@ -205,10 +261,15 @@ sweepAllApps(const GpuConfig &base_config)
  * cycle counts, which the manifest records, so the rebuilt sweeps feed
  * the same table code as the in-process path. An app with any failed
  * cell is skipped with a note, like sweepAllApps.
+ *
+ * @p jobs > 1 switches the campaign to its in-process thread-pool mode
+ * (CampaignOptions::inProcessJobs) — same grid and manifest, no fork
+ * isolation; jobs <= 1 keeps the fork-per-cell path.
  */
 inline std::vector<AppSweep>
 sweepAllAppsCampaign(const GpuConfig &base_config,
-                     const std::string &state_dir, bool resume)
+                     const std::string &state_dir, bool resume,
+                     unsigned jobs = 1)
 {
     std::vector<Workload> suite;
     for (AppId id : allApps())
@@ -222,6 +283,7 @@ sweepAllAppsCampaign(const GpuConfig &base_config,
     CampaignOptions opts;
     opts.stateDir = state_dir;
     opts.resume = resume;
+    opts.inProcessJobs = jobs > 1 ? jobs : 0;
     CampaignRunner runner(std::move(suite), std::move(configs), opts);
     const CampaignReport report = runner.run();
     std::fprintf(stderr, "  [campaign: %u done, %u failed; manifest %s]\n",

@@ -22,16 +22,22 @@ namespace {
 
 double
 meanSpeedup(const si::GpuConfig &base, const si::GpuConfig &test_cfg,
-            unsigned warps_per_app)
+            unsigned warps_per_app, unsigned jobs)
 {
+    const std::vector<si::AppId> &ids = si::allApps();
     std::vector<double> speedups;
-    for (si::AppId id : si::allApps()) {
-        const si::Workload wl = si::buildApp(id, warps_per_app);
-        const si::GpuResult rb = si::runWorkload(wl, base);
-        const si::GpuResult rt = si::runWorkload(wl, test_cfg);
-        speedups.push_back(si::speedupPct(rb, rt));
-        std::fprintf(stderr, "  [%s done]\n", si::appName(id));
-    }
+    si::parallel::mapIndexed<double>(
+        jobs, ids.size(),
+        [&](std::size_t i) {
+            const si::Workload wl = si::buildApp(ids[i], warps_per_app);
+            const si::GpuResult rb = si::runWorkload(wl, base);
+            const si::GpuResult rt = si::runWorkload(wl, test_cfg);
+            return si::speedupPct(rb, rt);
+        },
+        [&](std::size_t i, const double &sp) {
+            speedups.push_back(sp);
+            std::fprintf(stderr, "  [%s done]\n", si::appName(ids[i]));
+        });
     return si::mean(speedups);
 }
 
@@ -61,9 +67,10 @@ main(int argc, char **argv)
                       : 64;
 
             const double si_gain = meanSpeedup(
-                base, si::withSi(base, si::bestSiConfigPoint()), warps);
+                base, si::withSi(base, si::bestSiConfigPoint()), warps,
+                bj.jobs());
             const double dws_gain =
-                meanSpeedup(base, si::withDws(base), warps);
+                meanSpeedup(base, si::withDws(base), warps, bj.jobs());
 
             t.row({std::to_string(slots_per_pb * 4),
                    spare ? "half-empty slots" : "slots saturated",

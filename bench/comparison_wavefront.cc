@@ -32,40 +32,53 @@ main(int argc, char **argv)
     // both implementations the same 8K-ray frame.
     const unsigned frameWarps = 256;
 
-    for (si::AppId id : si::allApps()) {
-        si::AppBuild build = si::appBuildConfig(id);
-        build.kernel.numWarps = frameWarps;
-        auto scene = si::makeScene(build.scene);
+    const std::vector<si::AppId> &ids = si::allApps();
+    struct AppCell
+    {
+        si::GpuResult base, si;
+        si::WavefrontResult wf;
+    };
+    si::parallel::mapIndexed<AppCell>(
+        bj.jobs(), ids.size(),
+        [&](std::size_t i) {
+            si::AppBuild build = si::appBuildConfig(ids[i]);
+            build.kernel.numWarps = frameWarps;
+            auto scene = si::makeScene(build.scene);
 
-        si::GpuConfig base = si::baselineConfig();
-        base.rtc = build.rtc;
+            si::GpuConfig base = si::baselineConfig();
+            base.rtc = build.rtc;
 
-        // Megakernel: baseline and SI.
-        const si::Workload mk = si::buildApp(id, frameWarps);
-        const si::GpuResult rb = si::runWorkload(mk, si::baselineConfig());
-        const si::GpuResult rs = si::runWorkload(
-            mk, si::withSi(si::baselineConfig(), si::bestSiConfigPoint()));
+            // Megakernel: baseline and SI.
+            const si::Workload mk = si::buildApp(ids[i], frameWarps);
+            AppCell c;
+            c.base = si::runWorkload(mk, si::baselineConfig());
+            c.si = si::runWorkload(mk,
+                                   si::withSi(si::baselineConfig(),
+                                              si::bestSiConfigPoint()));
 
-        // Wavefront pipeline over the same scene/shader population.
-        si::WavefrontConfig wf;
-        wf.kernel = build.kernel;
-        const si::WavefrontResult rw =
-            si::runWavefront(wf, scene, base);
+            // Wavefront pipeline over the same scene/shaders.
+            si::WavefrontConfig wf;
+            wf.kernel = build.kernel;
+            c.wf = si::runWavefront(wf, scene, base);
+            return c;
+        },
+        [&](std::size_t i, const AppCell &c) {
+            const double si_gain = si::speedupPct(c.base, c.si);
+            const double wf_gain =
+                (double(c.base.cycles) / double(c.wf.totalCycles) -
+                 1.0) *
+                100.0;
+            si_gains.push_back(si_gain);
+            wf_gains.push_back(wf_gain);
 
-        const double si_gain = si::speedupPct(rb, rs);
-        const double wf_gain =
-            (double(rb.cycles) / double(rw.totalCycles) - 1.0) * 100.0;
-        si_gains.push_back(si_gain);
-        wf_gains.push_back(wf_gain);
-
-        t.row({si::appName(id), std::to_string(rb.cycles),
-               std::to_string(rs.cycles),
-               std::to_string(rw.totalCycles),
-               si::TablePrinter::pct(si_gain),
-               si::TablePrinter::pct(wf_gain),
-               std::to_string(rw.kernelLaunches)});
-        std::fprintf(stderr, "  [%s done]\n", si::appName(id));
-    }
+            t.row({si::appName(ids[i]), std::to_string(c.base.cycles),
+                   std::to_string(c.si.cycles),
+                   std::to_string(c.wf.totalCycles),
+                   si::TablePrinter::pct(si_gain),
+                   si::TablePrinter::pct(wf_gain),
+                   std::to_string(c.wf.kernelLaunches)});
+            std::fprintf(stderr, "  [%s done]\n", si::appName(ids[i]));
+        });
     t.row({"mean", "-", "-", "-",
            si::TablePrinter::pct(si::mean(si_gains)),
            si::TablePrinter::pct(si::mean(wf_gains)), "-"});
@@ -83,32 +96,43 @@ main(int argc, char **argv)
     si::TablePrinter t2("BFV1: batch-size sweep (cycles)");
     t2.header({"rays in flight", "megakernel", "megakernel+SI",
                "wavefront", "wavefront vs megakernel"});
-    for (unsigned warps : {64u, 256u, 1024u}) {
-        si::AppBuild build = si::appBuildConfig(si::AppId::BFV1);
-        build.kernel.numWarps = warps;
-        auto scene = si::makeScene(build.scene);
+    const std::vector<unsigned> batches = {64u, 256u, 1024u};
+    si::parallel::mapIndexed<AppCell>(
+        bj.jobs(), batches.size(),
+        [&](std::size_t i) {
+            const unsigned warps = batches[i];
+            si::AppBuild build = si::appBuildConfig(si::AppId::BFV1);
+            build.kernel.numWarps = warps;
+            auto scene = si::makeScene(build.scene);
 
-        si::GpuConfig base = si::baselineConfig();
-        base.rtc = build.rtc;
+            si::GpuConfig base = si::baselineConfig();
+            base.rtc = build.rtc;
 
-        const si::Workload mk = si::buildApp(si::AppId::BFV1, warps);
-        const si::GpuResult rb =
-            si::runWorkload(mk, si::baselineConfig());
-        const si::GpuResult rs = si::runWorkload(
-            mk, si::withSi(si::baselineConfig(), si::bestSiConfigPoint()));
+            const si::Workload mk =
+                si::buildApp(si::AppId::BFV1, warps);
+            AppCell c;
+            c.base = si::runWorkload(mk, si::baselineConfig());
+            c.si = si::runWorkload(mk,
+                                   si::withSi(si::baselineConfig(),
+                                              si::bestSiConfigPoint()));
 
-        si::WavefrontConfig wf;
-        wf.kernel = build.kernel;
-        const si::WavefrontResult rw = si::runWavefront(wf, scene, base);
-
-        t2.row({std::to_string(warps * 32), std::to_string(rb.cycles),
-                std::to_string(rs.cycles),
-                std::to_string(rw.totalCycles),
-                si::TablePrinter::pct(
-                    (double(rb.cycles) / double(rw.totalCycles) - 1.0) *
-                    100.0)});
-        std::fprintf(stderr, "[batch %u done]\n", warps * 32);
-    }
+            si::WavefrontConfig wf;
+            wf.kernel = build.kernel;
+            c.wf = si::runWavefront(wf, scene, base);
+            return c;
+        },
+        [&](std::size_t i, const AppCell &c) {
+            t2.row({std::to_string(batches[i] * 32),
+                    std::to_string(c.base.cycles),
+                    std::to_string(c.si.cycles),
+                    std::to_string(c.wf.totalCycles),
+                    si::TablePrinter::pct(
+                        (double(c.base.cycles) /
+                             double(c.wf.totalCycles) -
+                         1.0) *
+                        100.0)});
+            std::fprintf(stderr, "[batch %u done]\n", batches[i] * 32);
+        });
     t2.print();
 
     bj.table(t);

@@ -22,18 +22,22 @@ main(int argc, char **argv)
         "Figure 3: stalls normalized to kernel time (baseline, lat=600)");
     t.header({"trace", "total exposed ld-to-use", "in divergent blocks"});
 
+    const std::vector<si::AppId> &ids = si::allApps();
     std::vector<double> totals, divergents;
-    for (si::AppId id : si::allApps()) {
-        const si::Workload wl = si::buildApp(id);
-        const si::GpuResult r = si::runWorkload(wl, base);
-        const double total = 100.0 * r.exposedStallFraction();
-        const double div = 100.0 * r.divergentStallFraction();
-        totals.push_back(total);
-        divergents.push_back(div);
-        t.row({si::appName(id), si::TablePrinter::pct(total),
-               si::TablePrinter::pct(div)});
-        std::fprintf(stderr, "  [ran %s]\n", si::appName(id));
-    }
+    si::parallel::mapIndexed<si::GpuResult>(
+        bj.jobs(), ids.size(),
+        [&](std::size_t i) {
+            return si::runWorkload(si::buildApp(ids[i]), base);
+        },
+        [&](std::size_t i, const si::GpuResult &r) {
+            const double total = 100.0 * r.exposedStallFraction();
+            const double div = 100.0 * r.divergentStallFraction();
+            totals.push_back(total);
+            divergents.push_back(div);
+            t.row({si::appName(ids[i]), si::TablePrinter::pct(total),
+                   si::TablePrinter::pct(div)});
+            std::fprintf(stderr, "  [ran %s]\n", si::appName(ids[i]));
+        });
     t.row({"mean", si::TablePrinter::pct(si::mean(totals)),
            si::TablePrinter::pct(si::mean(divergents))});
     t.print();

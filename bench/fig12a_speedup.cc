@@ -24,9 +24,10 @@ main(int argc, char **argv)
     // path runs in-process as before.
     const auto sweeps =
         bj.campaignDir().empty()
-            ? si::bench::sweepAllApps(base)
+            ? si::bench::sweepAllApps(base, bj.jobs())
             : si::bench::sweepAllAppsCampaign(base, bj.campaignDir(),
-                                              bj.campaignResume());
+                                              bj.campaignResume(),
+                                              bj.jobs());
 
     si::TablePrinter t("Figure 12a: speedup over baseline (lat=600)");
     std::vector<std::string> hdr = {"trace"};

@@ -31,23 +31,32 @@ main(int argc, char **argv)
         return 100.0 * (before - after) / before;
     };
 
+    const std::vector<si::AppId> &ids = si::allApps();
+    struct AppPair
+    {
+        si::GpuResult base, si;
+    };
     std::vector<double> totals, divergents;
-    for (si::AppId id : si::allApps()) {
-        const si::Workload wl = si::buildApp(id);
-        const si::GpuResult rb = si::runWorkload(wl, base);
-        const si::GpuResult rs = si::runWorkload(wl, si_cfg);
-        const double tot = reduction(
-            double(rb.total.exposedLoadStallCycles),
-            double(rs.total.exposedLoadStallCycles));
-        const double div = reduction(
-            rb.total.exposedLoadStallCyclesDivergent,
-            rs.total.exposedLoadStallCyclesDivergent);
-        totals.push_back(tot);
-        divergents.push_back(div);
-        t.row({si::appName(id), si::TablePrinter::pct(tot),
-               si::TablePrinter::pct(div)});
-        std::fprintf(stderr, "  [ran %s]\n", si::appName(id));
-    }
+    si::parallel::mapIndexed<AppPair>(
+        bj.jobs(), ids.size(),
+        [&](std::size_t i) {
+            const si::Workload wl = si::buildApp(ids[i]);
+            return AppPair{si::runWorkload(wl, base),
+                           si::runWorkload(wl, si_cfg)};
+        },
+        [&](std::size_t i, const AppPair &p) {
+            const double tot = reduction(
+                double(p.base.total.exposedLoadStallCycles),
+                double(p.si.total.exposedLoadStallCycles));
+            const double div = reduction(
+                p.base.total.exposedLoadStallCyclesDivergent,
+                p.si.total.exposedLoadStallCyclesDivergent);
+            totals.push_back(tot);
+            divergents.push_back(div);
+            t.row({si::appName(ids[i]), si::TablePrinter::pct(tot),
+                   si::TablePrinter::pct(div)});
+            std::fprintf(stderr, "  [ran %s]\n", si::appName(ids[i]));
+        });
     t.row({"mean", si::TablePrinter::pct(si::mean(totals)),
            si::TablePrinter::pct(si::mean(divergents))});
     t.print();

@@ -31,7 +31,7 @@ main(int argc, char **argv)
         std::fprintf(stderr, "[latency %llu]\n",
                      static_cast<unsigned long long>(lat));
         const auto sweeps =
-            si::bench::sweepAllApps(si::baselineConfig(lat));
+            si::bench::sweepAllApps(si::baselineConfig(lat), bj.jobs());
         for (std::size_t c = 0; c < points.size(); ++c) {
             std::vector<double> per_app;
             for (const auto &s : sweeps)

@@ -30,25 +30,35 @@ main(int argc, char **argv)
     for (std::size_t a = 0; a < si::allApps().size(); ++a)
         rows[a].push_back(si::appName(si::allApps()[a]));
 
-    for (unsigned slots_per_pb : {2u, 4u, 8u}) {
-        si::GpuConfig base = si::baselineConfig();
-        base.warpSlotsPerPb = slots_per_pb;
-        const si::GpuConfig si_cfg =
-            si::withSi(base, si::bestSiConfigPoint());
-
-        std::vector<double> speedups;
-        for (std::size_t a = 0; a < si::allApps().size(); ++a) {
-            const si::Workload wl = si::buildApp(si::allApps()[a]);
+    // Flattened slot-major grid: cell k = (slot k / napps, app k % napps),
+    // so index order matches the serial loop nest exactly.
+    const std::vector<si::AppId> &ids = si::allApps();
+    const std::vector<unsigned> slot_cfgs = {2u, 4u, 8u};
+    const std::size_t napps = ids.size();
+    std::vector<double> speedups;
+    si::parallel::mapIndexed<double>(
+        bj.jobs(), slot_cfgs.size() * napps,
+        [&](std::size_t k) {
+            si::GpuConfig base = si::baselineConfig();
+            base.warpSlotsPerPb = slot_cfgs[k / napps];
+            const si::GpuConfig si_cfg =
+                si::withSi(base, si::bestSiConfigPoint());
+            const si::Workload wl = si::buildApp(ids[k % napps]);
             const si::GpuResult rb = si::runWorkload(wl, base);
             const si::GpuResult rs = si::runWorkload(wl, si_cfg);
-            const double sp = si::speedupPct(rb, rs);
+            return si::speedupPct(rb, rs);
+        },
+        [&](std::size_t k, const double &sp) {
+            const std::size_t a = k % napps;
             speedups.push_back(sp);
             rows[a].push_back(si::TablePrinter::pct(sp));
-            std::fprintf(stderr, "  [slots=%u %s]\n", slots_per_pb * 4,
-                         si::appName(si::allApps()[a]));
-        }
-        means.push_back(si::mean(speedups));
-    }
+            std::fprintf(stderr, "  [slots=%u %s]\n",
+                         slot_cfgs[k / napps] * 4, si::appName(ids[a]));
+            if (a + 1 == napps) {
+                means.push_back(si::mean(speedups));
+                speedups.clear();
+            }
+        });
 
     for (auto &r : rows)
         t.row(r);

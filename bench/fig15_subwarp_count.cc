@@ -29,23 +29,32 @@ main(int argc, char **argv)
         rows[a].push_back(si::appName(si::allApps()[a]));
     std::vector<double> means;
 
-    for (unsigned budget : budgets) {
-        si::GpuConfig si_cfg = si::withSi(base, si::bestSiConfigPoint());
-        si_cfg.maxSubwarps = budget;
-
-        std::vector<double> speedups;
-        for (std::size_t a = 0; a < si::allApps().size(); ++a) {
-            const si::Workload wl = si::buildApp(si::allApps()[a]);
+    // Flattened budget-major grid, index order = the serial loop nest.
+    const std::vector<si::AppId> &ids = si::allApps();
+    const std::size_t napps = ids.size();
+    std::vector<double> speedups;
+    si::parallel::mapIndexed<double>(
+        bj.jobs(), budgets.size() * napps,
+        [&](std::size_t k) {
+            si::GpuConfig si_cfg =
+                si::withSi(base, si::bestSiConfigPoint());
+            si_cfg.maxSubwarps = budgets[k / napps];
+            const si::Workload wl = si::buildApp(ids[k % napps]);
             const si::GpuResult rb = si::runWorkload(wl, base);
             const si::GpuResult rs = si::runWorkload(wl, si_cfg);
-            const double sp = si::speedupPct(rb, rs);
+            return si::speedupPct(rb, rs);
+        },
+        [&](std::size_t k, const double &sp) {
+            const std::size_t a = k % napps;
             speedups.push_back(sp);
             rows[a].push_back(si::TablePrinter::pct(sp));
-            std::fprintf(stderr, "  [tst=%u %s]\n", budget,
-                         si::appName(si::allApps()[a]));
-        }
-        means.push_back(si::mean(speedups));
-    }
+            std::fprintf(stderr, "  [tst=%u %s]\n", budgets[k / napps],
+                         si::appName(ids[a]));
+            if (a + 1 == napps) {
+                means.push_back(si::mean(speedups));
+                speedups.clear();
+            }
+        });
 
     for (auto &r : rows)
         t.row(r);

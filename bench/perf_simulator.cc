@@ -12,6 +12,7 @@
 #include "common/log.hh"
 #include "harness/runner.hh"
 #include "isa/assembler.hh"
+#include "parallel/executor.hh"
 #include "rt/apps.hh"
 #include "rt/microbench.hh"
 
@@ -52,6 +53,42 @@ BM_SimulateMicrobench(benchmark::State &state)
         double(cycles), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SimulateMicrobench)->Arg(16)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Throughput of a baseline + six-SI-point sweep through the parallel
+ * execution engine. Arg(0) is the worker count passed to mapIndexed:
+ * 1 = the inline serial path, 0 = all cores. The serial/parallel pair
+ * is the perf-regression gate's probe for both raw simulation speed
+ * and executor overhead.
+ */
+void
+BM_ParallelSweep(benchmark::State &state)
+{
+    si::verboseLogging = false;
+    si::MicrobenchConfig mc;
+    mc.subwarpSize = 4;
+    const si::Workload wl = si::buildMicrobench(mc);
+    std::vector<si::GpuConfig> cfgs;
+    cfgs.push_back(si::baselineConfig());
+    for (const auto &pt : si::siConfigPoints())
+        cfgs.push_back(si::withSi(si::baselineConfig(), pt));
+    const unsigned jobs =
+        si::parallel::resolveJobs(unsigned(state.range(0)));
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        const auto results =
+            si::parallel::mapIndexed<si::GpuResult>(
+                jobs, cfgs.size(), [&](std::size_t i) {
+                    return si::runWorkload(wl, cfgs[i]);
+                });
+        for (const auto &r : results)
+            cycles += r.cycles;
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+        double(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ParallelSweep)->Arg(1)->Arg(0)
     ->Unit(benchmark::kMillisecond);
 
 void

@@ -27,29 +27,38 @@ main(int argc, char **argv)
         rows[a].push_back(si::appName(si::allApps()[a]));
     std::vector<double> means;
 
-    for (bool small : {false, true}) {
-        si::GpuConfig base = si::baselineConfig();
-        if (small) {
-            base.l0i.sizeBytes = 4 * 1024;
-            base.l1i.sizeBytes = 16 * 1024;
-        }
-        const si::GpuConfig si_cfg =
-            si::withSi(base, si::bestSiConfigPoint());
-
-        std::vector<double> speedups;
-        for (std::size_t a = 0; a < si::allApps().size(); ++a) {
-            const si::Workload wl = si::buildApp(si::allApps()[a]);
+    // Flattened size-major grid, index order = the serial loop nest.
+    const std::vector<si::AppId> &ids = si::allApps();
+    const std::size_t napps = ids.size();
+    std::vector<double> speedups;
+    si::parallel::mapIndexed<double>(
+        bj.jobs(), 2 * napps,
+        [&](std::size_t k) {
+            const bool small = k / napps == 1;
+            si::GpuConfig base = si::baselineConfig();
+            if (small) {
+                base.l0i.sizeBytes = 4 * 1024;
+                base.l1i.sizeBytes = 16 * 1024;
+            }
+            const si::GpuConfig si_cfg =
+                si::withSi(base, si::bestSiConfigPoint());
+            const si::Workload wl = si::buildApp(ids[k % napps]);
             const si::GpuResult rb = si::runWorkload(wl, base);
             const si::GpuResult rs = si::runWorkload(wl, si_cfg);
-            const double sp = si::speedupPct(rb, rs);
+            return si::speedupPct(rb, rs);
+        },
+        [&](std::size_t k, const double &sp) {
+            const std::size_t a = k % napps;
             speedups.push_back(sp);
             rows[a].push_back(si::TablePrinter::pct(sp));
             std::fprintf(stderr, "  [%s icache, %s]\n",
-                         small ? "small" : "full",
-                         si::appName(si::allApps()[a]));
-        }
-        means.push_back(si::mean(speedups));
-    }
+                         k / napps == 1 ? "small" : "full",
+                         si::appName(ids[a]));
+            if (a + 1 == napps) {
+                means.push_back(si::mean(speedups));
+                speedups.clear();
+            }
+        });
 
     for (auto &r : rows)
         t.row(r);

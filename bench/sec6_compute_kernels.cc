@@ -30,17 +30,28 @@ main(int argc, char **argv)
         "Section VI: SI on non-raytracing compute kernels (lat=600)");
     t1.header({"kernel", "baseline cycles", "SI cycles", "speedup",
                "divergent branches", "subwarp stalls"});
-    for (si::ComputeKernel k : si::allComputeKernels()) {
-        const si::Workload wl = si::buildComputeKernel(k);
-        const si::GpuResult rb = si::runWorkload(wl, base);
-        const si::GpuResult rs = si::runWorkload(wl, si_cfg);
-        t1.row({si::computeKernelName(k), std::to_string(rb.cycles),
-                std::to_string(rs.cycles),
-                si::TablePrinter::pct(si::speedupPct(rb, rs)),
-                std::to_string(rb.total.divergentBranches),
-                std::to_string(rs.total.subwarpStalls)});
-        std::fprintf(stderr, "  [%s done]\n", si::computeKernelName(k));
-    }
+    struct KernelPair
+    {
+        si::GpuResult base, si;
+    };
+    const auto kernels = si::allComputeKernels();
+    const auto pairs = si::parallel::mapIndexed<KernelPair>(
+        bj.jobs(), kernels.size(),
+        [&](std::size_t i) {
+            const si::Workload wl = si::buildComputeKernel(kernels[i]);
+            return KernelPair{si::runWorkload(wl, base),
+                              si::runWorkload(wl, si_cfg)};
+        },
+        [&](std::size_t i, const KernelPair &p) {
+            t1.row({si::computeKernelName(kernels[i]),
+                    std::to_string(p.base.cycles),
+                    std::to_string(p.si.cycles),
+                    si::TablePrinter::pct(si::speedupPct(p.base, p.si)),
+                    std::to_string(p.base.total.divergentBranches),
+                    std::to_string(p.si.total.subwarpStalls)});
+            std::fprintf(stderr, "  [%s done]\n",
+                         si::computeKernelName(kernels[i]));
+        });
     t1.print();
 
     // ---- part 2: frame-level dilution ----
@@ -53,11 +64,12 @@ main(int argc, char **argv)
     const si::GpuResult rt_b = si::runWorkload(rt, base);
     const si::GpuResult rt_s = si::runWorkload(rt, si_cfg);
 
+    // Runs are deterministic, so part 1's results stand in for the
+    // re-simulation the serial version of this loop used to do.
     si::Cycle comp_b = 0, comp_s = 0;
-    for (si::ComputeKernel k : si::allComputeKernels()) {
-        const si::Workload wl = si::buildComputeKernel(k);
-        comp_b += si::runWorkload(wl, base).cycles;
-        comp_s += si::runWorkload(wl, si_cfg).cycles;
+    for (const KernelPair &p : pairs) {
+        comp_b += p.base.cycles;
+        comp_s += p.si.cycles;
     }
 
     auto frame_row = [&](const char *label, unsigned compute_repeats) {

@@ -31,22 +31,34 @@ main(int argc, char **argv)
     t.header({"SUBWARP_SIZE", "divergence factor", "speedup (x)",
               "fetch-stall cycles (SI)"});
 
-    for (unsigned sws : {16u, 8u, 4u, 2u, 1u}) {
-        si::MicrobenchConfig mc;
-        mc.subwarpSize = sws;
-        const si::Workload wl = si::buildMicrobench(mc);
-        const si::GpuResult rb = si::runWorkload(wl, base);
-        const si::GpuResult rs = si::runWorkload(wl, si_cfg);
-        const double speedup = double(rb.cycles) / double(rs.cycles);
-        t.row({std::to_string(sws),
-               std::to_string(si::divergenceFactor(mc)),
-               si::TablePrinter::num(speedup),
-               std::to_string(rs.total.exposedFetchStallCycles)});
-        std::fprintf(stderr, "  [ran d=%u]\n", si::divergenceFactor(mc));
-        bj.metric("speedup_x/divergence" +
-                      std::to_string(si::divergenceFactor(mc)),
-                  speedup);
-    }
+    const std::vector<unsigned> sizes = {16u, 8u, 4u, 2u, 1u};
+    struct Cell
+    {
+        si::GpuResult base, si;
+        unsigned divergence;
+    };
+    si::parallel::mapIndexed<Cell>(
+        bj.jobs(), sizes.size(),
+        [&](std::size_t i) {
+            si::MicrobenchConfig mc;
+            mc.subwarpSize = sizes[i];
+            const si::Workload wl = si::buildMicrobench(mc);
+            return Cell{si::runWorkload(wl, base),
+                        si::runWorkload(wl, si_cfg),
+                        si::divergenceFactor(mc)};
+        },
+        [&](std::size_t i, const Cell &c) {
+            const double speedup =
+                double(c.base.cycles) / double(c.si.cycles);
+            t.row({std::to_string(sizes[i]),
+                   std::to_string(c.divergence),
+                   si::TablePrinter::num(speedup),
+                   std::to_string(c.si.total.exposedFetchStallCycles)});
+            std::fprintf(stderr, "  [ran d=%u]\n", c.divergence);
+            bj.metric("speedup_x/divergence" +
+                          std::to_string(c.divergence),
+                      speedup);
+        });
     t.print();
 
     bj.table(t);

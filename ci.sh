@@ -107,10 +107,51 @@ check_campaign_soak() {
     fi
 }
 
+# ThreadSanitizer leg for the parallel execution engine: build with
+# -fsanitize=thread and drive the code that actually runs concurrent
+# workers — the executor/equivalence suite (test_parallel) and the
+# 64-seed differential matrix on the thread-pool path. A full ctest
+# pass under TSan would mostly re-run single-threaded code at 5-15x
+# slowdown for no extra race coverage, so this leg stays targeted.
+run_tsan() {
+    local dir=$1
+    echo "=== configure $dir (thread sanitizer)"
+    cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DSI_SANITIZE=thread
+    echo "=== build $dir"
+    cmake --build "$dir" -j "$(nproc)" --target test_parallel difftest
+    echo "=== tsan $dir (parallel suite + 64-seed parallel difftest)"
+    "$dir/tests/test_parallel"
+    "$dir/tools/difftest" --seeds 64 --jobs 4
+}
+
+# Perf-regression gate: benchmark the simulator (including the serial
+# vs all-cores parallel-sweep probe) and compare sim_cycles/s against
+# the checked-in baseline. Regressions beyond the threshold fail CI;
+# refresh the baseline with tools/check_perf_regression.py --update.
+check_perf() {
+    local dir=$1
+    local art="$dir/artifacts"
+    mkdir -p "$art"
+    echo "=== perf gate $dir (simulator benchmarks vs baseline)"
+    "$dir/bench/perf_simulator" \
+        --benchmark_out="$art/BENCH_simulator.json" \
+        --benchmark_out_format=json \
+        --benchmark_min_time=0.1 > /dev/null
+    if command -v python3 >/dev/null 2>&1; then
+        python3 tools/check_perf_regression.py \
+            bench/BENCH_simulator.json "$art/BENCH_simulator.json"
+    else
+        echo "=== python3 not installed; skipping the perf gate"
+    fi
+}
+
 run build-release -DCMAKE_BUILD_TYPE=Release
 check_exports build-release
 check_campaign_soak build-release
+check_perf build-release
 run build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSI_SANITIZE=address,undefined
+run_tsan build-tsan
 run build-notrace -DCMAKE_BUILD_TYPE=Release -DSI_TRACE=OFF
 
 echo "=== ci.sh: all green"

@@ -2,17 +2,30 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace si {
 
-bool verboseLogging = true;
+std::atomic<bool> verboseLogging{true};
 
 namespace detail {
+
+namespace {
+
+/**
+ * Serializes whole messages: stdio locks each fprintf call, but one
+ * logical message is several calls (tag, body, location, newline), and
+ * concurrent sweep workers would interleave the fragments.
+ */
+std::mutex logMutex;
+
+} // namespace
 
 void
 logMessage(LogLevel level, const char *file, int line, const char *fmt, ...)
 {
-    if (level == LogLevel::Inform && !verboseLogging)
+    if (level == LogLevel::Inform &&
+        !verboseLogging.load(std::memory_order_relaxed))
         return;
 
     const char *tag = nullptr;
@@ -34,6 +47,7 @@ logMessage(LogLevel level, const char *file, int line, const char *fmt, ...)
     std::FILE *out =
         (level == LogLevel::Inform) ? stdout : stderr;
 
+    std::lock_guard<std::mutex> lock(logMutex);
     std::fprintf(out, "%s: ", tag);
     std::va_list args;
     va_start(args, fmt);

@@ -7,6 +7,7 @@
 #ifndef SI_COMMON_LOG_HH
 #define SI_COMMON_LOG_HH
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdlib>
 #include <string>
@@ -27,9 +28,11 @@ void logMessage(LogLevel level, const char *file, int line,
 
 /**
  * Global verbosity switch: when false, inform() messages are suppressed.
- * Benchmarks flip this off so tables stay clean.
+ * Benchmarks flip this off so tables stay clean. Atomic because sweep
+ * workers read it concurrently (set it once, before spawning workers —
+ * it is a process-wide knob, not a per-run one).
  */
-extern bool verboseLogging;
+extern std::atomic<bool> verboseLogging;
 
 } // namespace si
 

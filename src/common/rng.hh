@@ -32,6 +32,23 @@ class Rng
         }
     }
 
+    /**
+     * Derive the seed of logical stream @p index in a family rooted at
+     * @p base, SplitMix64-style. The result is a pure function of
+     * (base, index) — never of how many streams were handed out
+     * before — so a parallel sweep that reaches cells in arbitrary
+     * order assigns every cell exactly the stream it gets serially.
+     * Use this instead of drawing sub-seeds from a shared generator.
+     */
+    static std::uint64_t
+    streamSeed(std::uint64_t base, std::uint64_t index)
+    {
+        std::uint64_t z = base + (index + 1) * 0x9e3779b97f4a7c15ull;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
     /** Next raw 64-bit value. */
     std::uint64_t
     next()

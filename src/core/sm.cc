@@ -253,7 +253,7 @@ Sm::Sm(unsigned id, const GpuConfig &config, Memory &memory,
       l1d_(config.l1d),
       l1i_(config.l1i),
       rtcore_(scene, config.rtc),
-      unit_(config, config.rngSeed + id * 7919 + 1, id)
+      unit_(config, Rng::streamSeed(config.rngSeed, id), id)
 {
     pbs_.reserve(config.pbsPerSm);
     for (unsigned p = 0; p < config.pbsPerSm; ++p)

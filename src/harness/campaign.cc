@@ -7,6 +7,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <thread>
 
@@ -16,6 +17,7 @@
 
 #include "common/json.hh"
 #include "common/log.hh"
+#include "parallel/executor.hh"
 #include "snapshot/snapshot.hh"
 
 namespace si {
@@ -232,12 +234,19 @@ CampaignRunner::writeManifest(const CampaignReport &report) const
                     manifestJson(report));
 }
 
-void
-CampaignRunner::childMain(const CampaignCellRecord &rec,
-                          const Workload &workload, GpuConfig config)
+/**
+ * Simulate one cell attempt: config prep, checkpoint hook, resume from
+ * an earlier attempt's checkpoint when one exists, and exception
+ * absorption. Shared by the forked child and the in-process mode, so
+ * the two paths cannot drift in cell semantics.
+ */
+GpuResult
+CampaignRunner::executeCell(const CampaignCellRecord &rec,
+                            const Workload &workload, GpuConfig config,
+                            bool &resumed)
 {
     GpuResult result;
-    bool resumed = false;
+    resumed = false;
     try {
         config.rtc = workload.rtc;
         if (options_.childConfigHook)
@@ -284,6 +293,16 @@ CampaignRunner::childMain(const CampaignCellRecord &rec,
             ErrorKind::Internal,
             std::string("unexpected exception: ") + e.what());
     }
+    return result;
+}
+
+void
+CampaignRunner::childMain(const CampaignCellRecord &rec,
+                          const Workload &workload, GpuConfig config)
+{
+    bool resumed = false;
+    const GpuResult result =
+        executeCell(rec, workload, std::move(config), resumed);
 
     try {
         writeFileAtomic(resultPath(rec),
@@ -378,6 +397,90 @@ CampaignRunner::runAttempt(CampaignCellRecord &rec,
         rec.cycles = Cycle(v->number);
 }
 
+void
+CampaignRunner::runAttemptInProcess(CampaignCellRecord &rec,
+                                    const Workload &workload,
+                                    const GpuConfig &config)
+{
+    using clock = std::chrono::steady_clock;
+
+    ++rec.attempts;
+
+    GpuConfig cell_config = config;
+    if (options_.cellTimeoutSec > 0) {
+        // The in-process analogue of the parent's SIGKILL budget: the
+        // cancel hook unwinds the run with ErrorKind::WallClock, which
+        // is transient and retried exactly like ChildTimeout.
+        const auto deadline =
+            clock::now() + std::chrono::duration_cast<clock::duration>(
+                               std::chrono::duration<double>(
+                                   options_.cellTimeoutSec));
+        cell_config.cancelHook = [deadline] {
+            return clock::now() >= deadline;
+        };
+    }
+
+    bool resumed = false;
+    const GpuResult result =
+        executeCell(rec, workload, std::move(cell_config), resumed);
+    rec.kind = result.status.kind;
+    rec.detail = result.status.ok() ? "" : result.status.message;
+    rec.cycles = result.cycles;
+}
+
+void
+CampaignRunner::runCellToCompletion(CampaignCellRecord &rec,
+                                    const Workload &workload,
+                                    const GpuConfig &config,
+                                    bool in_process)
+{
+    while (true) {
+        if (in_process)
+            runAttemptInProcess(rec, workload, config);
+        else
+            runAttempt(rec, workload, config);
+        if (rec.kind == ErrorKind::None) {
+            rec.state = "done";
+            rec.diagnosis = "";
+            break;
+        }
+        const bool transient = errorKindIsTransient(
+            rec.kind, options_.faultInjectionActive);
+        if (!transient || rec.attempts > options_.maxRetries) {
+            rec.state = "failed";
+            rec.diagnosis = errorDetectorName(rec.kind);
+            if (std::filesystem::exists(checkpointPath(rec)))
+                rec.checkpoint = checkpointPath(rec);
+            warn("campaign cell %s/%s failed permanently after %u "
+                 "attempt(s): %s [%s]%s%s",
+                 rec.workload.c_str(), rec.configLabel.c_str(),
+                 rec.attempts, rec.detail.c_str(),
+                 rec.diagnosis.c_str(),
+                 rec.checkpoint.empty() ? "" : "; last checkpoint: ",
+                 rec.checkpoint.c_str());
+            break;
+        }
+        // A timeout or crash kill leaves a healthy machine's
+        // checkpoint worth resuming. A detector trip (livelock,
+        // invariant violation, ...) means the machine state itself
+        // went bad, and auto-checkpoints from that attempt may have
+        // captured the corruption — drop them so the retry starts
+        // clean instead of resuming straight back into the failure.
+        if (rec.kind != ErrorKind::ChildTimeout &&
+            rec.kind != ErrorKind::ChildCrash &&
+            rec.kind != ErrorKind::WallClock) {
+            std::error_code ec;
+            std::filesystem::remove(checkpointPath(rec), ec);
+        }
+        if (options_.retryBackoffSec > 0) {
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                options_.retryBackoffSec * rec.attempts));
+        }
+    }
+    if (rec.done() && std::filesystem::exists(checkpointPath(rec)))
+        rec.checkpoint = checkpointPath(rec);
+}
+
 CampaignReport
 CampaignRunner::run()
 {
@@ -430,11 +533,22 @@ CampaignRunner::run()
     }
     writeManifest(report);
 
-    for (CampaignCellRecord &rec : report.cells) {
+    // Resolve the pending cells into an execution list up front so the
+    // fork-serial path and the in-process pool walk the exact same
+    // cells in the exact same identity order.
+    struct PendingCell
+    {
+        std::size_t index; ///< into report.cells
+        const Workload *workload;
+        const GpuConfig *config;
+    };
+    std::vector<PendingCell> todo;
+    for (std::size_t i = 0; i < report.cells.size(); ++i) {
+        CampaignCellRecord &rec = report.cells[i];
         if (rec.done() || rec.failed())
             continue;
         if (options_.maxCellsThisRun &&
-            report.cellsRun >= options_.maxCellsThisRun)
+            todo.size() >= options_.maxCellsThisRun)
             break;
 
         const Workload *workload = nullptr;
@@ -454,55 +568,29 @@ CampaignRunner::run()
         sim_throw_if(!workload || !config, ErrorKind::Internal,
                      "campaign cell '%s'/'%s' lost its definition",
                      rec.workload.c_str(), rec.configLabel.c_str());
-
-        while (true) {
-            runAttempt(rec, *workload, *config);
-            if (rec.kind == ErrorKind::None) {
-                rec.state = "done";
-                rec.diagnosis = "";
-                break;
-            }
-            const bool transient = errorKindIsTransient(
-                rec.kind, options_.faultInjectionActive);
-            if (!transient || rec.attempts > options_.maxRetries) {
-                rec.state = "failed";
-                rec.diagnosis = errorDetectorName(rec.kind);
-                if (std::filesystem::exists(checkpointPath(rec)))
-                    rec.checkpoint = checkpointPath(rec);
-                warn("campaign cell %s/%s failed permanently after %u "
-                     "attempt(s): %s [%s]%s%s",
-                     rec.workload.c_str(), rec.configLabel.c_str(),
-                     rec.attempts, rec.detail.c_str(),
-                     rec.diagnosis.c_str(),
-                     rec.checkpoint.empty() ? ""
-                                            : "; last checkpoint: ",
-                     rec.checkpoint.c_str());
-                break;
-            }
-            // A timeout or crash kill leaves a healthy machine's
-            // checkpoint worth resuming. A detector trip (livelock,
-            // invariant violation, ...) means the machine state itself
-            // went bad, and auto-checkpoints from that attempt may have
-            // captured the corruption — drop them so the retry starts
-            // clean instead of resuming straight back into the failure.
-            if (rec.kind != ErrorKind::ChildTimeout &&
-                rec.kind != ErrorKind::ChildCrash &&
-                rec.kind != ErrorKind::WallClock) {
-                std::error_code ec;
-                std::filesystem::remove(checkpointPath(rec), ec);
-            }
-            if (options_.retryBackoffSec > 0) {
-                std::this_thread::sleep_for(
-                    std::chrono::duration<double>(
-                        options_.retryBackoffSec * rec.attempts));
-            }
-        }
-        if (rec.done() && std::filesystem::exists(checkpointPath(rec)))
-            rec.checkpoint = checkpointPath(rec);
-
-        ++report.cellsRun;
-        writeManifest(report);
+        todo.push_back({i, workload, config});
     }
+
+    const bool in_process = options_.inProcessJobs >= 1;
+    // Workers mutate only a local copy of their record; the copy is
+    // committed to the report — and the manifest rewritten, which reads
+    // every cell — under one mutex, so concurrent cells never observe
+    // each other half-written. Commit content is index-keyed, so the
+    // final manifest is byte-identical at any worker count (the
+    // *intermediate* manifests differ in completion order only).
+    std::mutex commit_mutex;
+    parallel::forIndexed(
+        in_process ? options_.inProcessJobs : 1, todo.size(),
+        [&](std::size_t k) {
+            const PendingCell &cell = todo[k];
+            CampaignCellRecord local = report.cells[cell.index];
+            runCellToCompletion(local, *cell.workload, *cell.config,
+                                in_process);
+            std::lock_guard<std::mutex> lock(commit_mutex);
+            report.cells[cell.index] = std::move(local);
+            ++report.cellsRun;
+            writeManifest(report);
+        });
 
     report.complete = true;
     for (const CampaignCellRecord &rec : report.cells) {

@@ -90,6 +90,19 @@ struct CampaignOptions
     bool faultInjectionActive = false;
 
     /**
+     * In-process execution mode: 0 (default) keeps the fork-per-cell
+     * path; N >= 1 runs cells on an in-process thread pool with N
+     * workers instead of forking. Cells keep their retry/backoff,
+     * checkpoint-resume, and classification semantics (a wall-budget
+     * overrun is ErrorKind::WallClock here — the cancel hook, not a
+     * SIGKILL), results are committed in deterministic cell order, and
+     * the final manifest is byte-identical at any worker count. The
+     * trade: a cell that outright crashes the process (panic/segfault)
+     * is not isolated — prefer the fork path for untrusted cells.
+     */
+    unsigned inProcessJobs = 0;
+
+    /**
      * Child-side config mutation, applied after the cell's base config
      * and before the machine is built. The chaos tests use it to plant
      * in-child fault hooks (e.g. SIGKILL at a seeded cycle).
@@ -161,6 +174,21 @@ class CampaignRunner
     /** Run one attempt of @p rec in a forked child; classify it. */
     void runAttempt(CampaignCellRecord &rec, const Workload &workload,
                     const GpuConfig &config);
+
+    /** In-process attempt: same cell semantics, no fork. */
+    void runAttemptInProcess(CampaignCellRecord &rec,
+                             const Workload &workload,
+                             const GpuConfig &config);
+
+    /** Drive @p rec through attempts/retries to a terminal state. */
+    void runCellToCompletion(CampaignCellRecord &rec,
+                             const Workload &workload,
+                             const GpuConfig &config, bool in_process);
+
+    /** Shared cell-simulation core behind both attempt paths. */
+    GpuResult executeCell(const CampaignCellRecord &rec,
+                          const Workload &workload, GpuConfig config,
+                          bool &resumed);
 
     /** Never returns: simulate the cell, write its result, _exit. */
     [[noreturn]] void childMain(const CampaignCellRecord &rec,

@@ -5,6 +5,7 @@
 
 #include "common/log.hh"
 #include "common/sim_error.hh"
+#include "parallel/executor.hh"
 
 namespace si {
 
@@ -110,25 +111,26 @@ runWorkloadSafe(const Workload &workload, GpuConfig config,
 
 std::vector<RunOutcome>
 runSuiteSafe(const std::vector<Workload> &suite, const GpuConfig &config,
-             double per_run_timeout_sec)
+             double per_run_timeout_sec, unsigned jobs)
 {
-    std::vector<RunOutcome> outcomes;
-    outcomes.reserve(suite.size());
-    for (const Workload &wl : suite) {
-        outcomes.push_back(
-            runWorkloadSafe(wl, config, per_run_timeout_sec));
-        const RunOutcome &o = outcomes.back();
-        if (!o.ok()) {
-            // Name the detector explicitly: a wall-clock budget kill and
-            // a forward-progress watchdog trip used to read identically
-            // here, sending people to debug the wrong mechanism.
-            warn("workload '%s' failed (%s; flagged by %s); continuing "
-                 "sweep",
-                 o.name.c_str(), o.result.status.summary().c_str(),
-                 errorDetectorName(o.result.status.kind));
-        }
-    }
-    return outcomes;
+    return parallel::mapIndexed<RunOutcome>(
+        jobs, suite.size(),
+        [&](std::size_t i) {
+            return runWorkloadSafe(suite[i], config,
+                                   per_run_timeout_sec);
+        },
+        [](std::size_t, const RunOutcome &o) {
+            if (!o.ok()) {
+                // Name the detector explicitly: a wall-clock budget
+                // kill and a forward-progress watchdog trip used to
+                // read identically here, sending people to debug the
+                // wrong mechanism.
+                warn("workload '%s' failed (%s; flagged by %s); "
+                     "continuing sweep",
+                     o.name.c_str(), o.result.status.summary().c_str(),
+                     errorDetectorName(o.result.status.kind));
+            }
+        });
 }
 
 double

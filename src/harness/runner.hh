@@ -79,10 +79,16 @@ RunOutcome runWorkloadSafe(const Workload &workload, GpuConfig config,
  * workload that deadlocks, livelocks, or exceeds @p per_run_timeout_sec
  * is recorded as failed and the sweep moves on, so one sick kernel
  * cannot take down the table for the healthy ones.
+ *
+ * @p jobs workloads run concurrently (1 = the serial path, 0 = all
+ * cores). Results are collected by suite index and failure warnings are
+ * emitted in suite order, so the outcome vector and the log stream are
+ * byte-identical at any jobs value.
  */
 std::vector<RunOutcome> runSuiteSafe(const std::vector<Workload> &suite,
                                      const GpuConfig &config,
-                                     double per_run_timeout_sec = 0);
+                                     double per_run_timeout_sec = 0,
+                                     unsigned jobs = 1);
 
 /** Percent speedup of @p test over @p base (positive = faster). */
 double speedupPct(const GpuResult &base, const GpuResult &test);

@@ -1,0 +1,592 @@
+/**
+ * @file
+ * Deterministic parallel execution engine tests. Three layers:
+ *
+ *  - Executor contract: empty/one-cell batches run inline, jobs may
+ *    exceed the cell count, ordered delivery is strict, every cell runs
+ *    even when siblings throw, and the lowest-index exception is the
+ *    one rethrown.
+ *
+ *  - Byte-identity: a fig12a-style mini-sweep (table render, stats
+ *    JSON, retirement traces) and the 64-seed differential-test matrix
+ *    must produce byte-identical output at --jobs 1/2/4/8. This is the
+ *    enforcement half of the determinism contract in DESIGN.md §10.
+ *
+ *  - Campaign in-process mode: manifests from the thread-pool path
+ *    match the fork path cell-for-cell, the chaos (fault-injected)
+ *    campaign converges to the same manifest at any worker count, and
+ *    a wall-budget overrun classifies as WallClock without poisoning
+ *    sibling cells.
+ *
+ * Plus the index-keyed RNG stream handout regression: seed assignment
+ * must be a pure function of (base, index), never of execution order.
+ */
+
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "common/sim_error.hh"
+#include "core/retire_trace.hh"
+#include "fault/injector.hh"
+#include "harness/campaign.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "harness/table.hh"
+#include "isa/assembler.hh"
+#include "parallel/executor.hh"
+#include "ref/difftest.hh"
+
+namespace si {
+namespace {
+
+using ::testing::HasSubstr;
+
+// ---------------------------------------------------------------------
+// Executor contract
+// ---------------------------------------------------------------------
+
+TEST(Executor, EmptyBatchReturnsEmptyAndNeverCallsWorker)
+{
+    std::atomic<unsigned> calls{0};
+    const auto results = parallel::mapIndexed<int>(
+        4, 0, [&](std::size_t) {
+            ++calls;
+            return 1;
+        });
+    EXPECT_TRUE(results.empty());
+    EXPECT_EQ(calls.load(), 0u);
+}
+
+TEST(Executor, SingleCellRunsInlineOnTheCaller)
+{
+    const auto caller = std::this_thread::get_id();
+    std::thread::id ran_on;
+    const auto results = parallel::mapIndexed<int>(
+        8, 1, [&](std::size_t i) {
+            ran_on = std::this_thread::get_id();
+            return int(i) + 41;
+        });
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0], 41);
+    EXPECT_EQ(ran_on, caller);
+}
+
+TEST(Executor, MoreJobsThanCells)
+{
+    std::vector<std::size_t> delivered;
+    const auto results = parallel::mapIndexed<std::size_t>(
+        8, 3, [](std::size_t i) { return i * i; },
+        [&](std::size_t i, const std::size_t &) {
+            delivered.push_back(i);
+        });
+    EXPECT_EQ(results, (std::vector<std::size_t>{0, 1, 4}));
+    EXPECT_EQ(delivered, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(Executor, OrderedDeliveryIsStrictUnderScrambledCompletion)
+{
+    // Later cells finish first (earlier indices sleep longer); the
+    // in_order callback must still observe 0, 1, 2, ... exactly.
+    const std::size_t n = 32;
+    std::vector<std::size_t> delivered;
+    const auto results = parallel::mapIndexed<std::size_t>(
+        4, n,
+        [&](std::size_t i) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(((n - i) % 5) * 400));
+            return i;
+        },
+        [&](std::size_t i, const std::size_t &r) {
+            EXPECT_EQ(i, r);
+            delivered.push_back(i);
+        });
+    ASSERT_EQ(delivered.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(delivered[i], i);
+        EXPECT_EQ(results[i], i);
+    }
+}
+
+TEST(Executor, LowestIndexErrorRethrownAfterAllCellsFinish)
+{
+    // Cells 3 and 7 fail. Fault isolation: the other 14 still run to
+    // completion and deliver in order; the rethrow picks index 3 (the
+    // deterministic choice), never index 7, regardless of which worker
+    // finished first.
+    std::atomic<unsigned> executed{0};
+    std::vector<std::size_t> delivered;
+    try {
+        parallel::mapIndexed<int>(
+            4, 16,
+            [&](std::size_t i) {
+                ++executed;
+                if (i == 7)
+                    throw SimError(ErrorKind::Internal, "cell seven");
+                if (i == 3)
+                    throw SimError(ErrorKind::Livelock, "cell three");
+                return int(i);
+            },
+            [&](std::size_t i, const int &) {
+                delivered.push_back(i);
+            });
+        FAIL() << "mapIndexed should have rethrown";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Livelock);
+        EXPECT_STREQ(e.what(), "cell three");
+    }
+    EXPECT_EQ(executed.load(), 16u);
+    // Failed cells are skipped by delivery; everything else arrives in
+    // index order.
+    std::vector<std::size_t> expected;
+    for (std::size_t i = 0; i < 16; ++i)
+        if (i != 3 && i != 7)
+            expected.push_back(i);
+    EXPECT_EQ(delivered, expected);
+}
+
+TEST(Executor, ThreadPoolRunsEverySubmittedTaskExactlyOnce)
+{
+    const unsigned n = 100;
+    std::vector<std::atomic<unsigned>> hits(n);
+    for (auto &h : hits)
+        h = 0;
+    {
+        parallel::ThreadPool pool(4);
+        EXPECT_EQ(pool.jobs(), 4u);
+        for (unsigned i = 0; i < n; ++i)
+            pool.submit([&hits, i] { ++hits[i]; });
+        pool.wait();
+        for (unsigned i = 0; i < n; ++i)
+            EXPECT_EQ(hits[i].load(), 1u) << "task " << i;
+        // wait() is reusable: a second batch drains too.
+        pool.submit([&hits] { ++hits[0]; });
+        pool.wait();
+        EXPECT_EQ(hits[0].load(), 2u);
+    }
+}
+
+TEST(Executor, ResolveJobs)
+{
+    EXPECT_GE(parallel::resolveJobs(0), 1u);
+    EXPECT_EQ(parallel::resolveJobs(0), parallel::defaultJobs());
+    EXPECT_EQ(parallel::resolveJobs(5), 5u);
+}
+
+// ---------------------------------------------------------------------
+// Index-keyed RNG stream handout (regression: seed assignment must not
+// depend on the order streams are claimed in)
+// ---------------------------------------------------------------------
+
+TEST(Rng, StreamSeedIsAPureFunctionOfBaseAndIndex)
+{
+    const std::uint64_t base = 12345;
+    const unsigned n = 256;
+
+    // Claiming streams in reverse (as a racing worker might) hands out
+    // exactly the seeds a forward walk does.
+    std::vector<std::uint64_t> forward(n), reverse(n);
+    for (unsigned i = 0; i < n; ++i)
+        forward[i] = Rng::streamSeed(base, i);
+    for (unsigned i = n; i-- > 0;)
+        reverse[i] = Rng::streamSeed(base, i);
+    EXPECT_EQ(forward, reverse);
+
+    // All streams distinct, and distinct from a different base's.
+    std::set<std::uint64_t> uniq(forward.begin(), forward.end());
+    EXPECT_EQ(uniq.size(), n);
+    for (unsigned i = 0; i < n; ++i)
+        EXPECT_NE(forward[i], Rng::streamSeed(base + 1, i));
+
+    // Not an affine walk: consecutive seeds must not differ by a
+    // constant stride (the old handout's failure mode — correlated
+    // neighbor streams).
+    std::set<std::uint64_t> strides;
+    for (unsigned i = 1; i < n; ++i)
+        strides.insert(forward[i] - forward[i - 1]);
+    EXPECT_GT(strides.size(), n / 2);
+}
+
+// ---------------------------------------------------------------------
+// Simulation helpers
+// ---------------------------------------------------------------------
+
+const char *kDivergentLoads = R"(
+S2R R0, LANEID
+ISETP.LT P0, R0, 16
+BSSY B0, join
+@P0 BRA taken
+MOV R1, 0x100000
+LDG R2, [R1+0] &wr=sb0
+FADD R3, R2, R2 &req=sb0
+BSYNC B0
+join:
+EXIT
+taken:
+MOV R1, 0x200000
+LDG R2, [R1+0] &wr=sb1
+FADD R3, R2, R2 &req=sb1
+LDG R4, [R1+8] &wr=sb2
+FADD R5, R4, R4 &req=sb2
+BSYNC B0
+BRA join
+)";
+
+/** Spins making forward progress until the wall budget cancels it. */
+const char *kSpinForever = R"(
+MOV R1, 0
+loop:
+IADD R1, R1, 1
+BRA loop
+EXIT
+)";
+
+Workload
+makeWorkload(const std::string &name, const char *source = nullptr)
+{
+    Workload wl;
+    wl.name = name;
+    wl.program = assembleOrDie(source ? source : kDivergentLoads);
+    wl.launch = {8, 4};
+    wl.memory = std::make_shared<Memory>();
+    return wl;
+}
+
+std::vector<std::pair<std::string, GpuConfig>>
+makeConfigs()
+{
+    GpuConfig base;
+    base.numSms = 1;
+    GpuConfig si = base;
+    si.siEnabled = true;
+    si.yieldEnabled = true;
+    return {{"base", base}, {"si", si}};
+}
+
+std::string
+freshStateDir(const char *stem)
+{
+    const std::string dir = std::string(::testing::TempDir()) + stem;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Stable text form of every retirement trace a run produced. */
+std::string
+traceDigest(const RetireTraceCollector &col)
+{
+    std::ostringstream out;
+    for (const auto &[warp_id, warp] : col.traces()) {
+        out << "w" << warp_id << ":";
+        for (unsigned lane = 0; lane < warpSize; ++lane) {
+            out << " l" << lane << "=";
+            for (const RetireEvent &ev : warp[lane])
+                out << ev.pc << (ev.executed ? "x" : "-") << ",";
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+// ---------------------------------------------------------------------
+// Byte-identity: suite runner, mini-sweep, difftest matrix
+// ---------------------------------------------------------------------
+
+TEST(ParallelEquivalence, SuiteSafeMatchesSerialAndIsolatesFailures)
+{
+    // Four healthy workloads plus a runaway one capped by maxCycles.
+    std::vector<Workload> suite;
+    for (int i = 0; i < 4; ++i)
+        suite.push_back(makeWorkload("div" + std::to_string(i)));
+    suite.push_back(makeWorkload("runaway", kSpinForever));
+
+    GpuConfig config;
+    config.numSms = 1;
+    config.maxCycles = 20'000;
+
+    const auto serial = runSuiteSafe(suite, config, 0, 1);
+    const auto parallel4 = runSuiteSafe(suite, config, 0, 4);
+    ASSERT_EQ(serial.size(), suite.size());
+    ASSERT_EQ(parallel4.size(), suite.size());
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        EXPECT_EQ(serial[i].name, parallel4[i].name);
+        EXPECT_EQ(serial[i].result.cycles, parallel4[i].result.cycles);
+        EXPECT_EQ(serial[i].result.status.kind,
+                  parallel4[i].result.status.kind);
+        EXPECT_EQ(serial[i].result.status.message,
+                  parallel4[i].result.status.message);
+    }
+    // The runaway cell fails in isolation; its siblings are untouched.
+    EXPECT_EQ(parallel4[4].result.status.kind, ErrorKind::CycleLimit);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_TRUE(parallel4[i].ok());
+}
+
+/**
+ * A fig12a-style mini-sweep: one workload through baseline plus the
+ * first two SI config points, rendered exactly the way the bench
+ * binaries do (streamed stderr-style lines, a TablePrinter, per-run
+ * stats JSON, retirement traces). Returns one string capturing every
+ * byte of output the sweep produces.
+ */
+std::string
+miniSweepFingerprint(unsigned jobs)
+{
+    const Workload wl = makeWorkload("divloads");
+
+    std::vector<std::pair<std::string, GpuConfig>> cells;
+    GpuConfig base;
+    base.numSms = 1;
+    cells.emplace_back("base", base);
+    const auto &points = siConfigPoints();
+    for (std::size_t p = 0; p < 2; ++p)
+        cells.emplace_back(points[p].label, withSi(base, points[p]));
+
+    struct Cell
+    {
+        GpuResult result;
+        std::string stats;
+        std::string traces;
+    };
+
+    std::string log;
+    TablePrinter t("mini fig12a sweep");
+    t.header({"config", "cycles", "speedup_pct"});
+    std::uint64_t base_cycles = 0;
+
+    const auto results = parallel::mapIndexed<Cell>(
+        jobs, cells.size(),
+        [&](std::size_t i) {
+            GpuConfig cfg = cells[i].second;
+            RetireTraceCollector col;
+            cfg.traceSink = &col;
+            Cell c;
+            c.result = runWorkload(wl, cfg);
+            c.stats = statsJson(c.result, cells[i].first);
+            c.traces = traceDigest(col);
+            return c;
+        },
+        [&](std::size_t i, const Cell &c) {
+            // Strict in-order delivery means the baseline (cell 0) has
+            // always arrived by the time any SI point needs it.
+            if (i == 0)
+                base_cycles = c.result.cycles;
+            const double pct =
+                100.0 * (double(base_cycles) - double(c.result.cycles)) /
+                double(base_cycles);
+            t.row({cells[i].first, std::to_string(c.result.cycles),
+                   std::to_string(pct)});
+            log += "  [swept " + cells[i].first + "]\n";
+        });
+
+    std::string out = log + t.render();
+    for (const Cell &c : results)
+        out += c.stats + "\n" + c.traces;
+    out += "base_cycles=" + std::to_string(base_cycles) + "\n";
+    return out;
+}
+
+TEST(ParallelEquivalence, MiniSweepByteIdenticalAtAnyJobs)
+{
+    const std::string serial = miniSweepFingerprint(1);
+    EXPECT_THAT(serial, HasSubstr("si-stats-v1"));
+    EXPECT_THAT(serial, HasSubstr("[swept base]"));
+    for (unsigned jobs : {2u, 4u, 8u})
+        EXPECT_EQ(serial, miniSweepFingerprint(jobs))
+            << "mini-sweep output diverged at jobs=" << jobs;
+}
+
+/**
+ * The differential-test matrix over @p seeds generated kernels, with
+ * per-seed records serialized in seed order — the in-process analogue
+ * of `difftest --seeds N --jobs J` stdout.
+ */
+std::string
+difftestMatrixLog(unsigned jobs, unsigned seeds)
+{
+    std::string out;
+    parallel::mapIndexed<std::string>(
+        jobs, seeds,
+        [&](std::size_t seed) {
+            const DiffResult r = diffSeed(std::uint64_t(seed));
+            std::string rec =
+                "seed " + std::to_string(seed) + ": " +
+                (r.agree ? "agree" : "DIVERGED");
+            if (!r.agree)
+                rec += " at " + r.point + " (" + r.detail + ")";
+            return rec + "\n";
+        },
+        [&](std::size_t, const std::string &rec) { out += rec; });
+    return out;
+}
+
+TEST(ParallelEquivalence, DifftestMatrixByteIdenticalAtAnyJobs)
+{
+    const unsigned seeds = 64;
+    const std::string serial = difftestMatrixLog(1, seeds);
+    EXPECT_THAT(serial, HasSubstr("seed 0: "));
+    EXPECT_THAT(serial, HasSubstr("seed 63: "));
+    for (unsigned jobs : {2u, 4u, 8u})
+        EXPECT_EQ(serial, difftestMatrixLog(jobs, seeds))
+            << "difftest matrix diverged at jobs=" << jobs;
+}
+
+// ---------------------------------------------------------------------
+// Campaign in-process mode
+// ---------------------------------------------------------------------
+
+TEST(CampaignParallel, InProcessManifestMatchesForkPath)
+{
+    // Healthy cells: the thread-pool path and the fork path must agree
+    // byte-for-byte on the final manifest. Sequential runs share the
+    // state-dir name so recorded paths cannot differ.
+    const std::string dir = freshStateDir("campaign_inproc_vs_fork");
+    const std::vector<Workload> suite = {makeWorkload("divA"),
+                                         makeWorkload("divB")};
+
+    CampaignOptions fork_opts;
+    fork_opts.stateDir = dir;
+    CampaignRunner fork_runner(suite, makeConfigs(), fork_opts);
+    const CampaignReport fork_report = fork_runner.run();
+    const std::string fork_manifest = slurp(dir + "/campaign.json");
+    EXPECT_TRUE(fork_report.complete);
+
+    std::filesystem::remove_all(dir);
+    CampaignOptions ip_opts = fork_opts;
+    ip_opts.inProcessJobs = 2;
+    CampaignRunner ip_runner(suite, makeConfigs(), ip_opts);
+    const CampaignReport ip_report = ip_runner.run();
+    const std::string ip_manifest = slurp(dir + "/campaign.json");
+
+    EXPECT_TRUE(ip_report.complete);
+    EXPECT_EQ(fork_manifest, ip_manifest);
+    EXPECT_EQ(CampaignRunner::manifestJson(fork_report),
+              CampaignRunner::manifestJson(ip_report));
+}
+
+/** The swsim --campaign-inject hook: fault every cell's first attempt,
+ *  seeded by the cell's stable identity. */
+CampaignOptions
+chaosOptions(const std::string &state_dir)
+{
+    CampaignOptions opts;
+    opts.stateDir = state_dir;
+    opts.maxRetries = 2;
+    opts.faultInjectionActive = true;
+    opts.childConfigHook = [](GpuConfig &c,
+                              const CampaignCellRecord &rec,
+                              unsigned attempt) {
+        if (attempt > 1)
+            return;
+        std::uint64_t ident = 1469598103934665603ull;
+        for (const std::string *s : {&rec.workload, &rec.configLabel}) {
+            for (char ch : *s) {
+                ident ^= std::uint64_t(static_cast<unsigned char>(ch));
+                ident *= 1099511628211ull;
+            }
+        }
+        const std::uint64_t seed = Rng::streamSeed(c.rngSeed, ident);
+        auto inj = std::make_shared<FaultInjector>(
+            FaultSpec{FaultKind::ScoreboardCorruption, 1, seed});
+        c.faultHook = [inj, h = inj->hook()](Gpu &gpu, Cycle now) {
+            h(gpu, now);
+        };
+        c.checkInvariants = true;
+    };
+    return opts;
+}
+
+TEST(CampaignParallel, ChaosManifestMatchesSerialCellForCell)
+{
+    // Satellite 6: fault-injected cells at jobs=4 must converge to the
+    // exact manifest the serial (jobs=1) chaos campaign produces —
+    // same attempts, same detector classifications, same cycles.
+    const std::string dir = freshStateDir("campaign_chaos_jobs");
+    const std::vector<Workload> suite = {makeWorkload("divA"),
+                                         makeWorkload("divB")};
+
+    CampaignOptions serial_opts = chaosOptions(dir);
+    serial_opts.inProcessJobs = 1;
+    CampaignRunner serial_runner(suite, makeConfigs(), serial_opts);
+    const CampaignReport serial_report = serial_runner.run();
+    const std::string serial_manifest = slurp(dir + "/campaign.json");
+
+    std::filesystem::remove_all(dir);
+    CampaignOptions par_opts = chaosOptions(dir);
+    par_opts.inProcessJobs = 4;
+    CampaignRunner par_runner(suite, makeConfigs(), par_opts);
+    const CampaignReport par_report = par_runner.run();
+    const std::string par_manifest = slurp(dir + "/campaign.json");
+
+    EXPECT_TRUE(serial_report.complete);
+    EXPECT_TRUE(par_report.complete);
+    EXPECT_EQ(serial_manifest, par_manifest);
+
+    ASSERT_EQ(serial_report.cells.size(), par_report.cells.size());
+    unsigned retried = 0;
+    for (std::size_t i = 0; i < serial_report.cells.size(); ++i) {
+        const auto &s = serial_report.cells[i];
+        const auto &p = par_report.cells[i];
+        EXPECT_EQ(s.workload, p.workload);
+        EXPECT_EQ(s.configLabel, p.configLabel);
+        EXPECT_EQ(s.state, p.state);
+        EXPECT_EQ(s.attempts, p.attempts);
+        EXPECT_EQ(s.kind, p.kind);
+        EXPECT_EQ(s.cycles, p.cycles);
+        EXPECT_TRUE(s.done()) << s.workload << "/" << s.configLabel;
+        if (s.attempts > 1)
+            ++retried;
+    }
+    // The injector must actually have bitten somewhere, or this test
+    // is vacuously comparing two healthy campaigns.
+    EXPECT_GT(retried, 0u);
+}
+
+TEST(CampaignParallel, WallBudgetTripsAsWallClockWithoutPoisoningSiblings)
+{
+    // One runaway cell under a tiny in-process wall budget fails as
+    // WallClock (the cancel-hook analogue of the fork path's SIGKILL /
+    // ChildTimeout) while its sibling completes normally.
+    CampaignOptions opts;
+    opts.stateDir = freshStateDir("campaign_wallclock");
+    opts.cellTimeoutSec = 0.2;
+    opts.maxRetries = 0;
+    opts.inProcessJobs = 2;
+
+    GpuConfig cfg;
+    cfg.numSms = 1;
+    const std::vector<Workload> suite = {
+        makeWorkload("healthy"), makeWorkload("runaway", kSpinForever)};
+    CampaignRunner runner(suite, {{"base", cfg}}, opts);
+    const CampaignReport report = runner.run();
+
+    ASSERT_EQ(report.cells.size(), 2u);
+    EXPECT_TRUE(report.cells[0].done());
+    EXPECT_TRUE(report.cells[1].failed());
+    EXPECT_EQ(report.cells[1].kind, ErrorKind::WallClock);
+}
+
+} // namespace
+} // namespace si

@@ -36,6 +36,10 @@
  *                      any divergence in final memory, registers, stats,
  *                      or retirement traces fails the seed.
  *   --dump             print each generated kernel before testing
+ *   --jobs N           test N seeds concurrently (default 1 = serial;
+ *                      0 = all cores). Per-seed output is buffered and
+ *                      emitted in seed order, so stdout and the exit
+ *                      status are byte-identical at any jobs value.
  *   -v                 per-seed progress output
  *
  * Exit status: 0 = all seeds agree (or, with --inject, every fired fault
@@ -43,11 +47,13 @@
  * --verify finding).
  */
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "common/log.hh"
+#include "parallel/executor.hh"
 #include "ref/difftest.hh"
 #include "snapshot/replay.hh"
 #include "verify/verifier.hh"
@@ -61,8 +67,45 @@ usage()
                  "usage: difftest [--seeds N] [--seed S] [--shrink]\n"
                  "                [--inject scoreboard|dropwb|barrier] "
                  "[--verify] [--snapshot]\n"
-                 "                [--dump] [-v]\n");
+                 "                [--dump] [--jobs N] [-v]\n");
 }
+
+/** printf into a per-seed output buffer (emitted later in seed order). */
+void
+appendf(std::string &out, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void
+appendf(std::string &out, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    if (n > 0) {
+        std::string buf(std::size_t(n) + 1, '\0');
+        std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+        buf.resize(std::size_t(n));
+        out += buf;
+    }
+    va_end(ap2);
+}
+
+/** Everything one seed produces, merged deterministically afterwards. */
+struct SeedReport
+{
+    unsigned failures = 0;
+    unsigned fired = 0;
+    unsigned escaped_ok = 0;
+    unsigned lint_rejected = 0;
+    unsigned blessed_diverged = 0;
+    unsigned snap_checked = 0;
+    unsigned snap_checkpointed = 0;
+    unsigned snap_diverged = 0;
+    std::string out; ///< buffered stdout text
+};
 
 bool
 parseU64(const char *s, std::uint64_t &out)
@@ -89,6 +132,7 @@ main(int argc, char **argv)
     bool snapshot = false;
     bool dump = false;
     bool verbose = false;
+    unsigned jobs = 1;
     si::DiffOptions opts;
 
     for (int i = 1; i < argc; ++i) {
@@ -116,6 +160,14 @@ main(int argc, char **argv)
             snapshot = true;
         } else if (arg == "--dump") {
             dump = true;
+        } else if (arg == "--jobs") {
+            const char *v = next();
+            std::uint64_t j = 0;
+            if (!v || !parseU64(v, j)) {
+                usage();
+                return 1;
+            }
+            jobs = si::parallel::resolveJobs(unsigned(j));
         } else if (arg == "-v") {
             verbose = true;
         } else if (arg == "--inject") {
@@ -174,120 +226,147 @@ main(int argc, char **argv)
                 snap_points.push_back(pt);
         }
     }
-    for (std::uint64_t s = first_seed; s < first_seed + num_seeds; ++s) {
-        const si::Program prog = si::generateKernel(s);
-        if (dump) {
-            std::printf("---- seed %llu ----\n%s",
+    // Seeds are independent cells: each one's counters and stdout text
+    // are accumulated in a SeedReport and merged in seed order by the
+    // in-order sink, so output and exit status are byte-identical at
+    // any --jobs value.
+    si::parallel::mapIndexed<SeedReport>(
+        jobs, std::size_t(num_seeds),
+        [&](std::size_t idx) {
+            const std::uint64_t s = first_seed + idx;
+            SeedReport sr;
+            const si::Program prog = si::generateKernel(s);
+            if (dump) {
+                appendf(sr.out, "---- seed %llu ----\n%s",
                         (unsigned long long)s,
                         prog.sourceText().c_str());
-        }
+            }
 
-        bool blessed = true;
-        if (verify) {
-            const si::VerifyReport rep = si::verifyProgram(prog);
-            if (!rep.spotless()) {
-                // The generator promises spotless output; anything at
-                // error or warning severity is a bug on one side.
-                blessed = rep.clean();
-                ++lint_rejected;
-                ++failures;
-                std::printf("seed %llu: static verifier flagged the "
+            bool blessed = true;
+            if (verify) {
+                const si::VerifyReport rep = si::verifyProgram(prog);
+                if (!rep.spotless()) {
+                    // The generator promises spotless output; anything
+                    // at error or warning severity is a bug on one side.
+                    blessed = rep.clean();
+                    ++sr.lint_rejected;
+                    ++sr.failures;
+                    appendf(sr.out,
+                            "seed %llu: static verifier flagged the "
                             "generated kernel:\n%s%s",
                             (unsigned long long)s,
                             rep.render(&prog).c_str(),
                             prog.sourceText().c_str());
+                }
             }
-        }
 
-        const si::DiffResult r = si::diffProgram(prog, opts);
-        if (verify && blessed && !r.agree && !opts.inject) {
-            // The static/dynamic cross-check proper: a kernel the
-            // verifier blessed must run divergence-free.
-            ++blessed_diverged;
-            std::printf("seed %llu: verifier-blessed kernel diverged "
+            const si::DiffResult r = si::diffProgram(prog, opts);
+            if (verify && blessed && !r.agree && !opts.inject) {
+                // The static/dynamic cross-check proper: a kernel the
+                // verifier blessed must run divergence-free.
+                ++sr.blessed_diverged;
+                appendf(sr.out,
+                        "seed %llu: verifier-blessed kernel diverged "
                         "dynamically\n",
                         (unsigned long long)s);
-        }
+            }
 
-        bool snap_bad = false;
-        for (const si::DiffPoint &pt : snap_points) {
-            si::ReplayCheckOptions ropts;
-            ropts.initMemory = [&opts](si::Memory &m) {
-                m = si::makeInputImage(opts.imageSeed);
-            };
-            const std::vector<si::KernelLaunch> kernels = {
-                {&prog, {opts.numWarps, opts.warpsPerCta}}};
-            const si::ReplayCheckResult rep =
-                si::validateDeterministicReplay(pt.config, kernels,
-                                                ropts);
-            ++snap_checked;
-            snap_checkpointed += rep.checkpointTaken ? 1 : 0;
-            if (!rep.ok()) {
-                snap_bad = true;
-                ++snap_diverged;
-                std::printf("seed %llu: replay NOT deterministic at %s "
+            bool snap_bad = false;
+            for (const si::DiffPoint &pt : snap_points) {
+                si::ReplayCheckOptions ropts;
+                ropts.initMemory = [&opts](si::Memory &m) {
+                    m = si::makeInputImage(opts.imageSeed);
+                };
+                const std::vector<si::KernelLaunch> kernels = {
+                    {&prog, {opts.numWarps, opts.warpsPerCta}}};
+                const si::ReplayCheckResult rep =
+                    si::validateDeterministicReplay(pt.config, kernels,
+                                                    ropts);
+                ++sr.snap_checked;
+                sr.snap_checkpointed += rep.checkpointTaken ? 1 : 0;
+                if (!rep.ok()) {
+                    snap_bad = true;
+                    ++sr.snap_diverged;
+                    appendf(sr.out,
+                            "seed %llu: replay NOT deterministic at %s "
                             "(checkpoint @%llu of %llu cycles)\n"
                             "  detail: %s\n",
                             (unsigned long long)s, pt.name.c_str(),
                             (unsigned long long)rep.checkpointCycle,
                             (unsigned long long)rep.cycles,
                             rep.detail.c_str());
-            } else if (verbose) {
-                std::printf("seed %llu: replay deterministic at %s "
+                } else if (verbose) {
+                    appendf(sr.out,
+                            "seed %llu: replay deterministic at %s "
                             "(checkpoint @%llu of %llu cycles)\n",
                             (unsigned long long)s, pt.name.c_str(),
                             (unsigned long long)rep.checkpointCycle,
                             (unsigned long long)rep.cycles);
+                }
             }
-        }
 
-        bool bad;
-        if (opts.inject) {
-            // A fired fault that still agrees escaped the oracle; an
-            // unfired fault (kernel never reached an injectable state)
-            // proves nothing. Escapes only fail the run for the
-            // architectural fault kind (see header comment).
-            if (r.faultFired)
-                ++fired;
-            bad = r.faultFired && r.agree &&
-                  opts.injectKind == si::FaultKind::BarrierMaskCorruption;
-            if (r.faultFired && r.agree && !bad)
-                ++escaped_ok;
-        } else {
-            bad = !r.agree;
-        }
-        bad = bad || snap_bad;
+            bool bad;
+            if (opts.inject) {
+                // A fired fault that still agrees escaped the oracle;
+                // an unfired fault (kernel never reached an injectable
+                // state) proves nothing. Escapes only fail the run for
+                // the architectural fault kind (see header comment).
+                if (r.faultFired)
+                    ++sr.fired;
+                bad = r.faultFired && r.agree &&
+                      opts.injectKind ==
+                          si::FaultKind::BarrierMaskCorruption;
+                if (r.faultFired && r.agree && !bad)
+                    ++sr.escaped_ok;
+            } else {
+                bad = !r.agree;
+            }
+            bad = bad || snap_bad;
 
-        if (verbose || bad) {
-            std::printf("seed %llu: %s%s\n", (unsigned long long)s,
+            if (verbose || bad) {
+                appendf(sr.out, "seed %llu: %s%s\n",
+                        (unsigned long long)s,
                         r.agree ? "agree" : "DIVERGED",
                         r.faultFired ? " [fault fired]" : "");
-            if (!r.agree) {
-                std::printf("  point:  %s\n  detail: %s\n",
+                if (!r.agree) {
+                    appendf(sr.out, "  point:  %s\n  detail: %s\n",
                             r.point.c_str(), r.detail.c_str());
+                }
             }
-        }
-        if (!bad)
-            continue;
-        ++failures;
+            if (!bad)
+                return sr;
+            ++sr.failures;
 
-        if (opts.inject) {
-            std::printf("seed %llu: injected fault FIRED but the oracle "
+            if (opts.inject) {
+                appendf(sr.out,
+                        "seed %llu: injected fault FIRED but the oracle "
                         "still agrees — detection gap\n",
                         (unsigned long long)s);
-        }
-        std::printf("%s", prog.sourceText().c_str());
+            }
+            appendf(sr.out, "%s", prog.sourceText().c_str());
 
-        if (shrink && !opts.inject && !r.agree) {
-            const si::DiffOptions sopts = opts;
-            const si::Program small = si::shrinkProgram(
-                prog, [&](const si::Program &p) {
-                    return !si::diffProgram(p, sopts).agree;
-                });
-            std::printf("shrunk to %u instructions:\n%s",
+            if (shrink && !opts.inject && !r.agree) {
+                const si::DiffOptions sopts = opts;
+                const si::Program small = si::shrinkProgram(
+                    prog, [&](const si::Program &p) {
+                        return !si::diffProgram(p, sopts).agree;
+                    });
+                appendf(sr.out, "shrunk to %u instructions:\n%s",
                         small.size(), small.sourceText().c_str());
-        }
-    }
+            }
+            return sr;
+        },
+        [&](std::size_t, const SeedReport &sr) {
+            std::fwrite(sr.out.data(), 1, sr.out.size(), stdout);
+            failures += sr.failures;
+            fired += sr.fired;
+            escaped_ok += sr.escaped_ok;
+            lint_rejected += sr.lint_rejected;
+            blessed_diverged += sr.blessed_diverged;
+            snap_checked += sr.snap_checked;
+            snap_checkpointed += sr.snap_checkpointed;
+            snap_diverged += sr.snap_diverged;
+        });
 
     if (opts.inject) {
         const unsigned detected = fired - escaped_ok - failures;

@@ -39,6 +39,11 @@
  *   --campaign-retries N    retries for transiently-failed cells
  *   --campaign-inject K     inject fault K into each cell's first
  *                      attempt (soak testing: retries must recover)
+ *   --campaign-jobs N  run campaign cells on an in-process thread pool
+ *                      with N workers instead of forking; the final
+ *                      manifest is byte-identical to the fork path's
+ *                      cell grid at any N (wall budgets classify as
+ *                      WallClock instead of ChildTimeout)
  *   --trace            print the per-issue timeline
  *   --trace-out FILE   record the trace-event stream (bounded ring
  *                      buffer) and write a Chrome trace_event JSON,
@@ -61,6 +66,7 @@
 #include <memory>
 
 #include "common/log.hh"
+#include "common/rng.hh"
 #include "fault/injector.hh"
 #include "harness/campaign.hh"
 #include "harness/report.hh"
@@ -91,7 +97,8 @@ usage()
                  "             [--campaign-state DIR] [--campaign-resume]"
                  " [--campaign-cells N]\n"
                  "             [--campaign-timeout SEC] "
-                 "[--campaign-retries N] [--campaign-inject K]\n");
+                 "[--campaign-retries N] [--campaign-inject K]\n"
+                 "             [--campaign-jobs N]\n");
 }
 
 /** --trace: print each issue as it happens. */
@@ -172,6 +179,7 @@ main(int argc, char **argv)
     si::FaultKind campaign_fault = si::FaultKind::DroppedWriteback;
     unsigned campaign_cells = 0, campaign_timeout = 0;
     unsigned campaign_retries = 2;
+    unsigned campaign_jobs = 0;
 
     auto parse_fault_kind = [](const std::string &k,
                                si::FaultKind &out) {
@@ -285,6 +293,8 @@ main(int argc, char **argv)
             next_uint(campaign_timeout);
         } else if (a == "--campaign-retries") {
             next_uint(campaign_retries);
+        } else if (a == "--campaign-jobs") {
+            next_uint(campaign_jobs);
         } else if (a == "--campaign-inject") {
             if (i + 1 >= argc || !parse_fault_kind(argv[++i],
                                                    campaign_fault)) {
@@ -438,6 +448,7 @@ main(int argc, char **argv)
         opts.checkpointEvery = checkpoint_every;
         opts.resume = campaign_resume;
         opts.maxCellsThisRun = campaign_cells;
+        opts.inProcessJobs = campaign_jobs;
         if (campaign_inject) {
             // Soak mode: each cell's FIRST attempt gets a live fault
             // injected; the retry runs clean, so a healthy campaign
@@ -446,12 +457,26 @@ main(int argc, char **argv)
             opts.faultInjectionActive = true;
             opts.childConfigHook =
                 [campaign_fault](si::GpuConfig &c,
-                                 const si::CampaignCellRecord &,
+                                 const si::CampaignCellRecord &rec,
                                  unsigned attempt) {
                     if (attempt > 1)
                         return;
+                    // Stream-seed by the cell's stable identity, not the
+                    // shared base seed: every cell gets its own fault
+                    // site, independent of execution order.
+                    std::uint64_t ident = 1469598103934665603ull;
+                    for (const std::string *s :
+                         {&rec.workload, &rec.configLabel}) {
+                        for (char ch : *s) {
+                            ident ^= std::uint64_t(
+                                static_cast<unsigned char>(ch));
+                            ident *= 1099511628211ull;
+                        }
+                    }
+                    const std::uint64_t seed =
+                        si::Rng::streamSeed(c.rngSeed, ident);
                     auto inj = std::make_shared<si::FaultInjector>(
-                        si::FaultSpec{campaign_fault, 500, c.rngSeed});
+                        si::FaultSpec{campaign_fault, 500, seed});
                     c.faultHook = [inj, h = inj->hook()](
                                       si::Gpu &gpu, si::Cycle now) {
                         h(gpu, now);
