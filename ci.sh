@@ -4,8 +4,10 @@
 # and a Release build with the trace tier compiled out (-DSI_TRACE=OFF)
 # to prove the observability layer costs nothing when disabled.
 # Each pass also runs the static kernel verifier (silint) over every
-# checked-in kernel against the golden report, and the 256-seed
-# differential sweep with static/dynamic cross-checking (--verify).
+# checked-in kernel against the golden report (with the si-lint-v1 JSON
+# export schema-checked), and the 256-seed differential sweep with
+# static/dynamic cross-checking (--verify). The Release pass adds the
+# 256-seed race-sanitizer soundness sweep (difftest --race).
 # The Release pass additionally exercises the machine-readable
 # exporters: a bench --json run validated against the checked-in
 # si-bench-v1 schema, and a swprof trace + stall-report export. It also
@@ -46,10 +48,34 @@ run() {
     echo "=== test $dir"
     ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
     echo "=== silint $dir (checked-in kernels vs golden report)"
-    "$dir/tools/silint" --Werror --report kernels/*.sasm |
+    # Every checked-in kernel; examples/ ships C++ API samples only, so
+    # kernels/ is the whole .sasm surface. The si-order-dependent pass
+    # gates here too (--Werror), and the machine-readable report is
+    # validated against the si-lint-v1 schema below.
+    mkdir -p "$dir/artifacts"
+    "$dir/tools/silint" --Werror --report --jobs 0 \
+        --json "$dir/artifacts/silint_kernels.json" kernels/*.sasm |
         diff -u tests/golden/silint_kernels.txt -
+    if command -v python3 >/dev/null 2>&1; then
+        python3 tools/check_bench_json.py tools/lint_schema.json \
+            "$dir/artifacts/silint_kernels.json"
+    else
+        echo "=== python3 not installed; skipping the lint schema gate"
+    fi
     echo "=== difftest $dir (256 kernels, static + dynamic oracles)"
     "$dir/tools/difftest" --seeds 256 --verify
+}
+
+# SI-hazard soundness sweep: 256 seeds through the race oracle — clean
+# generated kernels must be race-free statically AND dynamically, the
+# racy-witness positive control must be caught on both sides, and every
+# dynamic race must lie inside the static may-race set (DESIGN.md
+# section 11). Release only: the sweep runs each seed through the whole
+# config matrix twice (clean + witness).
+check_race() {
+    local dir=$1
+    echo "=== difftest $dir (256-seed race-sanitizer soundness sweep)"
+    "$dir/tools/difftest" --seeds 256 --race --jobs 0
 }
 
 # Machine-readable exporters: run one bench with --json and validate it
@@ -147,6 +173,7 @@ check_perf() {
 }
 
 run build-release -DCMAKE_BUILD_TYPE=Release
+check_race build-release
 check_exports build-release
 check_campaign_soak build-release
 check_perf build-release

@@ -18,6 +18,7 @@
 namespace si {
 
 class Gpu;
+class RaceHooks;
 class TraceSink;
 
 /**
@@ -206,6 +207,16 @@ struct GpuConfig
      * the rest compile out with -DSI_TRACE=OFF.
      */
     TraceSink *traceSink = nullptr;
+
+    /**
+     * Dynamic race sanitizer (null = off). Non-owning; must outlive the
+     * run. Receives every global-memory access at issue time plus the
+     * subwarp synchronization edges (BSYNC reconvergence, barrier
+     * release) — see race/hooks.hh. Works on baseline and SI schedules
+     * alike; swsim --race and difftest --race attach a
+     * race::RaceDetector here.
+     */
+    RaceHooks *raceHooks = nullptr;
 
     /** Total warp slots per SM (paper sweeps {8, 16, 32}). */
     unsigned

@@ -6,6 +6,7 @@
 #include "common/log.hh"
 #include "common/sim_error.hh"
 #include "core/invariants.hh"
+#include "race/hooks.hh"
 #include "trace/events.hh"
 
 namespace si {
@@ -537,6 +538,22 @@ Sm::issue(unsigned warp_idx, Cycle now)
                        : asFloat(w.reg(lane, in.srcB));
     };
 
+    // Dynamic race sanitizer feed (race/hooks.hh): per-lane addresses of
+    // every global-memory access, captured at issue time.
+    auto race_event = [&](bool is_store,
+                          const std::array<Addr, warpSize> &addrs) {
+        MemAccessEvent ev;
+        ev.cycle = now;
+        ev.smId = id_;
+        ev.warpId = w.logicalId;
+        ev.pc = pc;
+        ev.execMask = exec.raw();
+        ev.activeMask = active.raw();
+        ev.isStore = is_store;
+        ev.addr = addrs;
+        config_.raceHooks->onAccess(ev);
+    };
+
     const LatencyConfig &lat = config_.lat;
     bool advanced = false;
     Cycle result_lat = lat.alu;
@@ -747,10 +764,12 @@ Sm::issue(unsigned warp_idx, Cycle now)
         bool any_miss = false;
         // Coalesce: one L1D transaction per unique line across lanes.
         std::array<Addr, warpSize> lines;
+        std::array<Addr, warpSize> lane_addrs{};
         unsigned num_lines = 0;
         for (unsigned lane : lanesOf(exec)) {
             const Addr addr =
                 Addr(rd(lane, in.srcA)) + Addr(std::int64_t(in.imm));
+            lane_addrs[lane] = addr;
             w.setReg(lane, in.dst, memory_.read(addr));
             const Addr line = l1d_.lineOf(addr);
             bool seen = false;
@@ -759,6 +778,8 @@ Sm::issue(unsigned warp_idx, Cycle now)
             if (!seen)
                 lines[num_lines++] = line;
         }
+        if (config_.raceHooks != nullptr && exec.any())
+            race_event(false, lane_addrs);
         for (unsigned i = 0; i < num_lines; ++i) {
             const Cache::AccessResult res = l1d_.accessEx(lines[i]);
             any_miss |= !res.hit;
@@ -786,24 +807,31 @@ Sm::issue(unsigned warp_idx, Cycle now)
         break;
       }
 
-      case Opcode::STG:
+      case Opcode::STG: {
         ++stats_.stgIssued;
+        std::array<Addr, warpSize> lane_addrs{};
         for_exec([&](unsigned lane) {
             const Addr addr =
                 Addr(rd(lane, in.srcA)) + Addr(std::int64_t(in.imm));
+            lane_addrs[lane] = addr;
             memory_.write(addr, rd(lane, in.srcB));
         });
+        if (config_.raceHooks != nullptr && exec.any())
+            race_event(true, lane_addrs);
         break;
+      }
 
       case Opcode::TEX:
       case Opcode::TLD: {
         ++stats_.texIssued;
         bool any_miss = false;
         std::array<Addr, warpSize> lines;
+        std::array<Addr, warpSize> lane_addrs{};
         unsigned num_lines = 0;
         for (unsigned lane : lanesOf(exec)) {
             const Addr addr =
                 texelAddress(rd(lane, in.srcA), rd(lane, in.srcB));
+            lane_addrs[lane] = addr;
             w.setReg(lane, in.dst, memory_.read(addr));
             const Addr line = l1d_.lineOf(addr);
             bool seen = false;
@@ -812,6 +840,8 @@ Sm::issue(unsigned warp_idx, Cycle now)
             if (!seen)
                 lines[num_lines++] = line;
         }
+        if (config_.raceHooks != nullptr && exec.any())
+            race_event(false, lane_addrs);
         for (unsigned i = 0; i < num_lines; ++i) {
             const Cache::AccessResult res = l1d_.accessEx(lines[i]);
             any_miss |= !res.hit;

@@ -2,6 +2,7 @@
 
 #include "common/log.hh"
 #include "common/sim_error.hh"
+#include "race/hooks.hh"
 
 namespace si {
 
@@ -91,6 +92,14 @@ SubwarpUnit::arriveBsync(Warp &warp, BarIndex bar, std::uint32_t sync_pc,
         }
         warp.setBarrier(bar, ThreadMask());
         ++stats_.reconvergences;
+        // Reconvergence is a happens-before edge for the race
+        // sanitizer: every lane that passed this BSYNC (participants
+        // plus unregistered arrivals) has synchronized.
+        if (config_.raceHooks != nullptr) {
+            config_.raceHooks->onSync(warp.logicalId,
+                                      (participants | active).raw(),
+                                      sync_pc, now);
+        }
         SI_TRACE_EVENT(config_.traceSink,
                        makeEvent(warp, TraceEventKind::SubwarpReconverge,
                                  now, sync_pc, participants.raw(), 0, bar));
@@ -113,7 +122,11 @@ void
 SubwarpUnit::releaseBarrier(Warp &warp, BarIndex bar,
                             [[maybe_unused]] Cycle now)
 {
-    const ThreadMask blocked = warp.barrier(bar) & warp.live();
+    // The full barrier mask (dead lanes included) — the exited
+    // participants whose completion triggered this release are a
+    // happens-before predecessor of the lanes released below.
+    const ThreadMask all_participants = warp.barrier(bar);
+    const ThreadMask blocked = all_participants & warp.live();
     for (unsigned lane : lanesOf(blocked)) {
         warp.setState(lane, ThreadState::Active);
         warp.setBlockedOn(lane, barNone);
@@ -121,6 +134,10 @@ SubwarpUnit::releaseBarrier(Warp &warp, BarIndex bar,
     }
     warp.setBarrier(bar, ThreadMask());
     ++stats_.barrierReleasesOnExit;
+    if (config_.raceHooks != nullptr && all_participants.any()) {
+        config_.raceHooks->onSync(warp.logicalId, all_participants.raw(),
+                                  0, now);
+    }
     SI_TRACE_EVENT(config_.traceSink,
                    makeEvent(warp, TraceEventKind::BarrierRelease, now, 0,
                              blocked.raw(), 0, bar));

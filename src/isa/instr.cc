@@ -53,6 +53,24 @@ isLongLatency(Opcode op)
     }
 }
 
+bool
+readsGlobalMemory(Opcode op)
+{
+    return op == Opcode::LDG || op == Opcode::TEX || op == Opcode::TLD;
+}
+
+bool
+writesGlobalMemory(Opcode op)
+{
+    return op == Opcode::STG;
+}
+
+bool
+accessesGlobalMemory(Opcode op)
+{
+    return readsGlobalMemory(op) || writesGlobalMemory(op);
+}
+
 const char *
 opcodeName(Opcode op)
 {

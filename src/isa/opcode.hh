@@ -103,6 +103,17 @@ OpClass opClassOf(Opcode op);
 /** True for opcodes whose results arrive via a scoreboarded writeback. */
 bool isLongLatency(Opcode op);
 
+/**
+ * Address-provenance helpers for the memory-order analyses (verify/
+ * memdep, race/detector): which opcodes touch the global/texture
+ * address space at issue time. LDC reads the constant bank — a separate
+ * address space no store can reach — and RTQUERY walks the immutable
+ * BVH, so neither participates in memory-order hazards.
+ */
+bool readsGlobalMemory(Opcode op);  ///< LDG / TEX / TLD
+bool writesGlobalMemory(Opcode op); ///< STG
+bool accessesGlobalMemory(Opcode op);
+
 /** Mnemonic string for disassembly. */
 const char *opcodeName(Opcode op);
 

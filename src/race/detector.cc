@@ -1,0 +1,257 @@
+#include "race/detector.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace si {
+
+namespace {
+
+/** Lane iteration over a raw 32-bit mask. */
+template <typename Fn>
+void
+forLanes(std::uint32_t mask, Fn &&fn)
+{
+    for (unsigned lane = 0; lane < warpSize; ++lane) {
+        if (mask & (1u << lane))
+            fn(lane);
+    }
+}
+
+} // namespace
+
+void
+RaceDetector::joinLanes(WarpClocks &wc, std::uint32_t mask)
+{
+    // Pairwise max over every clock dimension, for all lanes in mask.
+    std::uint32_t merged[warpSize];
+    for (unsigned k = 0; k < warpSize; ++k)
+        merged[k] = 0;
+    forLanes(mask, [&](unsigned lane) {
+        for (unsigned k = 0; k < warpSize; ++k) {
+            merged[k] =
+                std::max(merged[k], wc.vc[lane * warpSize + k]);
+        }
+    });
+    forLanes(mask, [&](unsigned lane) {
+        for (unsigned k = 0; k < warpSize; ++k)
+            wc.vc[lane * warpSize + k] = merged[k];
+    });
+}
+
+void
+RaceDetector::record(const AccessRecord &prior, bool prior_is_store,
+                     const MemAccessEvent &ev, unsigned lane, Addr word)
+{
+    const std::uint32_t lo = std::min(prior.pc, ev.pc);
+    const std::uint32_t hi = std::max(prior.pc, ev.pc);
+    const bool store_store = prior_is_store && ev.isStore;
+    for (const RaceReport &r : races_) {
+        if (r.pcA == lo && r.pcB == hi && r.storeStore == store_store)
+            return; // already witnessed this static pair
+    }
+    RaceReport r;
+    r.pcA = lo;
+    r.pcB = hi;
+    r.storeStore = store_store;
+    r.warpId = ev.warpId;
+    r.laneA = prior.lane;
+    r.laneB = lane;
+    r.addr = word;
+    r.cycle = ev.cycle;
+    races_.push_back(r);
+}
+
+void
+RaceDetector::touchWord(WarpClocks &wc, const MemAccessEvent &ev,
+                        unsigned lane, Addr word)
+{
+    ShadowCell &cell = shadow_[word];
+    const std::uint32_t *lane_vc = &wc.vc[lane * warpSize];
+    const auto ordered = [&](const AccessRecord &rec) {
+        if (rec.warpId != ev.warpId)
+            return true; // cross-warp: out of contract
+        return lane_vc[rec.lane] >= rec.clock;
+    };
+
+    if (ev.isStore) {
+        if (cell.hasWrite && !ordered(cell.write))
+            record(cell.write, true, ev, lane, word);
+        for (const AccessRecord &rd : cell.reads) {
+            if (!ordered(rd))
+                record(rd, false, ev, lane, word);
+        }
+        cell.hasWrite = true;
+        cell.write = {ev.warpId, std::uint8_t(lane),
+                      lane_vc[lane], ev.pc};
+        cell.reads.clear();
+    } else {
+        if (cell.hasWrite && !ordered(cell.write))
+            record(cell.write, true, ev, lane, word);
+        // Upsert this lane's read epoch.
+        for (AccessRecord &rd : cell.reads) {
+            if (rd.warpId == ev.warpId && rd.lane == lane) {
+                rd.clock = lane_vc[lane];
+                rd.pc = ev.pc;
+                return;
+            }
+        }
+        cell.reads.push_back(
+            {ev.warpId, std::uint8_t(lane), lane_vc[lane], ev.pc});
+    }
+}
+
+void
+RaceDetector::onAccess(const MemAccessEvent &ev)
+{
+    if (ev.execMask == 0)
+        return;
+    WarpClocks &wc = warps_[ev.warpId];
+
+    // The issuing subwarp's lanes are in lockstep: everything any of
+    // them did is ordered before this instruction for all of them.
+    joinLanes(wc, ev.activeMask);
+
+    forLanes(ev.execMask, [&](unsigned lane) {
+        // Tick the lane's own epoch first so two lanes of this same
+        // instruction hitting one word conflict with each other (the
+        // static pass covers those via the lane-shared store set).
+        wc.vc[lane * warpSize + lane] += 1;
+        const Addr a = ev.addr[lane];
+        touchWord(wc, ev, lane, a & ~Addr(3));
+        if ((a & 3) != 0)
+            touchWord(wc, ev, lane, (a + 3) & ~Addr(3));
+    });
+
+    // Post-join: publish the new epochs to the whole subwarp while it
+    // is still co-active, so a later access by a sibling lane (after a
+    // guarded EXIT or divergence) stays ordered.
+    joinLanes(wc, ev.activeMask);
+}
+
+void
+RaceDetector::onSync(unsigned warpId, std::uint32_t mask, std::uint32_t pc,
+                     Cycle cycle)
+{
+    (void)pc;
+    (void)cycle;
+    if (mask == 0)
+        return;
+    joinLanes(warps_[warpId], mask);
+}
+
+std::string
+RaceDetector::report() const
+{
+    std::string out;
+    for (const RaceReport &r : races_) {
+        out += "race: ";
+        out += r.storeStore ? "store/store" : "store/load";
+        out += " pc " + std::to_string(r.pcA) + " (lane " +
+               std::to_string(r.laneA) + ") vs pc " +
+               std::to_string(r.pcB) + " (lane " +
+               std::to_string(r.laneB) + "), warp " +
+               std::to_string(r.warpId) + ", addr 0x";
+        char hex[20];
+        std::snprintf(hex, sizeof(hex), "%llx",
+                      static_cast<unsigned long long>(r.addr));
+        out += hex;
+        out += ", cycle " + std::to_string(r.cycle) + "\n";
+    }
+    return out;
+}
+
+void
+RaceDetector::reset()
+{
+    warps_.clear();
+    shadow_.clear();
+    races_.clear();
+}
+
+void
+RaceDetector::save(SnapshotWriter &w) const
+{
+    w.u32(std::uint32_t(warps_.size()));
+    for (const auto &[id, wc] : warps_) {
+        w.u32(id);
+        for (std::uint32_t c : wc.vc)
+            w.u32(c);
+    }
+    w.u32(std::uint32_t(shadow_.size()));
+    const auto put_rec = [&w](const AccessRecord &rec) {
+        w.u32(rec.warpId);
+        w.u8(rec.lane);
+        w.u32(rec.clock);
+        w.u32(rec.pc);
+    };
+    for (const auto &[word, cell] : shadow_) {
+        w.u64(word);
+        w.b(cell.hasWrite);
+        if (cell.hasWrite)
+            put_rec(cell.write);
+        w.u32(std::uint32_t(cell.reads.size()));
+        for (const AccessRecord &rd : cell.reads)
+            put_rec(rd);
+    }
+    w.u32(std::uint32_t(races_.size()));
+    for (const RaceReport &r : races_) {
+        w.u32(r.pcA);
+        w.u32(r.pcB);
+        w.b(r.storeStore);
+        w.u32(r.warpId);
+        w.u32(r.laneA);
+        w.u32(r.laneB);
+        w.u64(r.addr);
+        w.u64(r.cycle);
+    }
+}
+
+void
+RaceDetector::restore(SnapshotReader &r)
+{
+    reset();
+    const std::uint32_t num_warps = r.u32();
+    for (std::uint32_t i = 0; i < num_warps; ++i) {
+        const unsigned id = r.u32();
+        WarpClocks &wc = warps_[id];
+        for (std::uint32_t &c : wc.vc)
+            c = r.u32();
+    }
+    const auto get_rec = [&r]() {
+        AccessRecord rec;
+        rec.warpId = r.u32();
+        rec.lane = r.u8();
+        rec.clock = r.u32();
+        rec.pc = r.u32();
+        return rec;
+    };
+    const std::uint32_t num_cells = r.u32();
+    for (std::uint32_t i = 0; i < num_cells; ++i) {
+        const Addr word = r.u64();
+        ShadowCell &cell = shadow_[word];
+        cell.hasWrite = r.b();
+        if (cell.hasWrite)
+            cell.write = get_rec();
+        const std::uint32_t num_reads = r.u32();
+        cell.reads.reserve(num_reads);
+        for (std::uint32_t j = 0; j < num_reads; ++j)
+            cell.reads.push_back(get_rec());
+    }
+    const std::uint32_t num_races = r.u32();
+    races_.reserve(num_races);
+    for (std::uint32_t i = 0; i < num_races; ++i) {
+        RaceReport rep;
+        rep.pcA = r.u32();
+        rep.pcB = r.u32();
+        rep.storeStore = r.b();
+        rep.warpId = r.u32();
+        rep.laneA = r.u32();
+        rep.laneB = r.u32();
+        rep.addr = r.u64();
+        rep.cycle = r.u64();
+        races_.push_back(rep);
+    }
+}
+
+} // namespace si

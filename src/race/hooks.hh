@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Hook interface between the cycle core and the dynamic race sanitizer.
+ *
+ * Header-only on purpose (the TraceSink precedent): core/ calls through
+ * this interface when GpuConfig::raceHooks is set, so si_core never
+ * links against si_race and the detector stays an optional layer.
+ *
+ * The core reports two things:
+ *   - every global-memory access (LDG/STG/TEX/TLD) at issue time, with
+ *     the per-lane addresses and the issuing subwarp's masks;
+ *   - every synchronization point that orders subwarps of one warp:
+ *     BSSY/BSYNC reconvergence and barrier-release-on-exit. The lanes
+ *     named in the mask have synchronized — their clocks join.
+ *
+ * Scoreboard &wr/&req waits create no cross-lane edge: the replicated
+ * per-thread counters (ScoreboardFile) make every wait lane-local, so
+ * those edges are already subsumed by per-lane program order.
+ */
+
+#ifndef SI_RACE_HOOKS_HH
+#define SI_RACE_HOOKS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace si {
+
+/** One global-memory instruction issued by one subwarp. */
+struct MemAccessEvent
+{
+    Cycle cycle = 0;
+    unsigned smId = 0;
+
+    /** Globally unique logical warp id (matches S2R WARPID). */
+    unsigned warpId = 0;
+
+    std::uint32_t pc = 0;
+
+    /** Lanes that executed the access (guard passed). */
+    std::uint32_t execMask = 0;
+
+    /** Lanes of the issuing subwarp (they advance in lockstep). */
+    std::uint32_t activeMask = 0;
+
+    bool isStore = false;
+
+    /** Byte address per lane; valid where the execMask bit is set. */
+    std::array<Addr, warpSize> addr{};
+};
+
+/** Consumer interface; implemented by race/RaceDetector. */
+class RaceHooks
+{
+  public:
+    virtual ~RaceHooks() = default;
+
+    /** A global-memory access was issued. */
+    virtual void onAccess(const MemAccessEvent &ev) = 0;
+
+    /**
+     * The lanes in @p mask of warp @p warpId synchronized with each
+     * other at @p pc (BSYNC reconvergence or barrier release): every
+     * access they performed before this point happens-before every
+     * access any of them performs after it.
+     */
+    virtual void onSync(unsigned warpId, std::uint32_t mask,
+                       std::uint32_t pc, Cycle cycle) = 0;
+};
+
+} // namespace si
+
+#endif // SI_RACE_HOOKS_HH

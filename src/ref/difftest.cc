@@ -4,6 +4,7 @@
 
 #include "core/gpu.hh"
 #include "core/retire_trace.hh"
+#include "verify/memdep.hh"
 
 namespace si {
 
@@ -123,6 +124,47 @@ diffMatrix()
         }
     }
     return pts;
+}
+
+RaceCheckResult
+raceCheckProgram(const Program &program, const DiffOptions &opts)
+{
+    RaceCheckResult out;
+    const MemDepResult dep = analyzeMemDep(program);
+    out.staticPairs = dep.pairs.size();
+    out.staticLaneShared = dep.laneShared.size();
+
+    for (const DiffPoint &pt : diffMatrix()) {
+        Memory mem = makeInputImage(opts.imageSeed);
+        GpuConfig cfg = pt.config;
+        RaceDetector det;
+        cfg.raceHooks = &det;
+
+        Gpu gpu(cfg, mem);
+        const GpuResult res = gpu.run(
+            program, LaunchParams{opts.numWarps, opts.warpsPerCta});
+        if (!res.ok() && out.runError.empty())
+            out.runError = pt.name + ": " + res.status.summary();
+
+        for (const RaceReport &r : det.races()) {
+            bool seen = false;
+            for (const RaceReport &have : out.dynamicRaces) {
+                if (have.pcA == r.pcA && have.pcB == r.pcB &&
+                    have.storeStore == r.storeStore) {
+                    seen = true;
+                    break;
+                }
+            }
+            if (!seen)
+                out.dynamicRaces.push_back(r);
+        }
+    }
+
+    for (const RaceReport &r : out.dynamicRaces) {
+        if (!dep.mayRace(r.pcA, r.pcB))
+            out.unsound.push_back(r);
+    }
+    return out;
 }
 
 DiffResult

@@ -17,6 +17,7 @@
 
 #include "core/config.hh"
 #include "fault/injector.hh"
+#include "race/detector.hh"
 #include "ref/interp.hh"
 #include "ref/kernelgen.hh"
 
@@ -68,6 +69,44 @@ struct DiffResult
     /** A fault injection point was reached in at least one run. */
     bool faultFired = false;
 };
+
+/**
+ * Outcome of one SI-hazard soundness cross-check (`difftest --race`):
+ * the static may-race set (verify/memdep) versus the dynamic races the
+ * happens-before sanitizer (race/detector) observed across the full
+ * config matrix.
+ */
+struct RaceCheckResult
+{
+    /** Diagnosed si-order-dependent pairs from the static pass. */
+    std::size_t staticPairs = 0;
+
+    /** Lane-shared store sites (static may-race set, undiagnosed). */
+    std::size_t staticLaneShared = 0;
+
+    /** Dynamic races, union over the matrix, deduplicated by
+     *  (pcA, pcB, storeStore) with the first witness of each kept. */
+    std::vector<RaceReport> dynamicRaces;
+
+    /** Dynamic races OUTSIDE the static may-race set — each one is a
+     *  soundness bug in the static pass (or a completeness bug in the
+     *  sanitizer's happens-before edges). */
+    std::vector<RaceReport> unsound;
+
+    /** First failed cycle-model run ("" when every point completed). */
+    std::string runError;
+
+    /** The soundness contract: dynamic is a subset of static. */
+    bool sound() const { return unsound.empty(); }
+};
+
+/**
+ * Run @p program through every matrix point with the race sanitizer
+ * attached and check each observed race against analyzeMemDep()'s
+ * may-race set.
+ */
+RaceCheckResult raceCheckProgram(const Program &program,
+                                 const DiffOptions &opts = {});
 
 /** Cross-check @p program against the full matrix. */
 DiffResult diffProgram(const Program &program,

@@ -45,10 +45,17 @@ class Generator
     run()
     {
         prologue();
+        // Reserve the witness diamond's barrier up front so the random
+        // body cannot exhaust the register file first.
+        BarIndex witness_bar = barNone;
+        if (opts_.racyWitness)
+            witness_bar = BarIndex(barNext_++);
         const unsigned items =
             unsigned(rng_.range(opts_.minTopItems, opts_.maxTopItems));
         for (unsigned i = 0; i < items; ++i)
             item();
+        if (opts_.racyWitness)
+            racyWitness(witness_bar);
         epilogue();
         return kb_.build(32);
     }
@@ -474,6 +481,39 @@ class Generator
             alu();
         sb_ = joinSb(at_branch, sb_);
         kb_.bind(l_skip);
+    }
+
+    /**
+     * The opt-in order-dependent diamond (KernelGenOptions::
+     * racyWitness): lanes 0..15 store to kgRaceBase + warp*128 +
+     * lane*4 + 64 while the sibling arm's lanes 16..31 load
+     * kgRaceBase + warp*128 + lane*4 — the same word lane-16-below
+     * stores, with no BSYNC between store and load. WARPID keying
+     * keeps the conflict inside one warp.
+     */
+    void
+    racyWitness(BarIndex bar)
+    {
+        kb_.s2r(rS0, SReg::WARPID);
+        kb_.shli(rS0, rS0, 7);
+        kb_.shli(rS1, rLane, 2);
+        kb_.iadd(rS0, rS0, rS1);
+        kb_.iaddi(rAddr, rS0, std::int32_t(kgRaceBase));
+        kb_.isetpi(pAux, CmpOp::LT, rLane, 16);
+        predWritten_ |= 1u << pAux;
+
+        Label l_else = kb_.newLabel();
+        Label l_conv = kb_.newLabel();
+        kb_.bssy(bar, l_conv);
+        kb_.bra(l_else).pred(pAux, true);
+        kb_.stg(rAddr, 64, rIacc); // lanes 0..15
+        kb_.bra(l_conv);
+        kb_.bind(l_else);
+        attachWr(kb_.ldg(rS1, rAddr, 0), 0); // lanes 16..31
+        Instr &use = kb_.xorr(rIacc, rIacc, rS1);
+        reqPending(use, 0);
+        kb_.bind(l_conv);
+        kb_.bsync(bar);
     }
 
     /** Guarded EXIT killing a small (possibly empty) lane group. */

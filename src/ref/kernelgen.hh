@@ -39,6 +39,14 @@ inline constexpr Addr kgOutputBase = 0x200000;
  *  coordinates are masked so every texel hash lands inside them). */
 inline constexpr unsigned kgTexWords = 16 * 1024;
 
+/**
+ * Scratch segment the opt-in racy-witness diamond stores into. Kept
+ * warp-private (addresses are keyed off WARPID), so the injected race
+ * is strictly intra-warp — inside the scope of the SI-hazard analyzer's
+ * soundness contract (verify/memdep.hh, race/detector.hh).
+ */
+inline constexpr Addr kgRaceBase = 0x300000;
+
 /** Knobs for generateKernel. Defaults give a broad mix. */
 struct KernelGenOptions
 {
@@ -49,6 +57,17 @@ struct KernelGenOptions
     bool allowTex = true;
     bool allowYield = true;
     bool allowEarlyExit = true;
+
+    /**
+     * Opt-in positive control for the SI-hazard analyzer: append a
+     * sibling-arm STG/LDG diamond over the warp-private kgRaceBase
+     * segment where lane k's store is lane k+16's load address and no
+     * BSYNC orders the pair. The result is intentionally
+     * order-dependent: the static pass must flag it
+     * (si-order-dependent) and the dynamic sanitizer must report the
+     * race; the normal soundness contract above no longer holds.
+     */
+    bool racyWitness = false;
     unsigned numScoreboards = 8; ///< must match GpuConfig::numScoreboards
     unsigned numBarriers = 16;   ///< must match Warp::numBarriers
 };

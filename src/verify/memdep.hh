@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Static memory-order analysis for subwarp interleaving: an
+ * abstract-interpretation address analysis over the verifier's CFG.
+ *
+ * Register values are tracked as lane-affine symbolic forms
+ *
+ *     imm + cLane*laneId + cTid*tid + cWarp*warpId + cCta*ctaId + [0, range]
+ *
+ * propagated through MOV/S2R/IADD/SHL/AND/... into LDG/STG/TEX address
+ * operands. Two accesses *may alias across subwarps of one warp* when
+ * two distinct lanes i != j can produce overlapping word addresses;
+ * lane-private patterns (base + c*tid with |c| >= 4) are proven
+ * disjoint, as are accesses to provably disjoint address intervals.
+ *
+ * Subwarp-concurrent region pairs are derived from the BSSY/BSYNC
+ * structure: inside the region between a BSSY and its reconverging
+ * BSYNCs, two sites are concurrent when they lie on mutually exclusive
+ * paths (sibling divergent arms) or on a common CFG cycle (divergent
+ * loop bodies, where subwarps of one warp can occupy different
+ * iterations). A may-aliasing store/load or store/store pair of
+ * concurrent sites is a `si-order-dependent` hazard: no BSYNC orders
+ * the two accesses, so the observed memory state depends on subwarp
+ * schedule. DESIGN.md section 11 documents the lattice and the
+ * soundness contract shared with the dynamic detector (race/).
+ */
+
+#ifndef SI_VERIFY_MEMDEP_HH
+#define SI_VERIFY_MEMDEP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace si {
+
+/**
+ * One abstract address/value: affine in the machine's symbolic inputs
+ * plus a non-negative slack interval. `top` means unknown (may be any
+ * address). `unbounded` range marks a widened loop-variant value whose
+ * affine part is still meaningful but whose offset is not.
+ */
+struct AffineVal
+{
+    static constexpr std::uint64_t unboundedRange = ~std::uint64_t(0);
+
+    bool top = true;
+    std::int64_t imm = 0;
+    std::int64_t cLane = 0;
+    std::int64_t cTid = 0;
+    std::int64_t cWarp = 0;
+    std::int64_t cCta = 0;
+    std::uint64_t range = 0; ///< value = affine part + [0, range]
+
+    bool sameCoeffs(const AffineVal &o) const
+    {
+        return cLane == o.cLane && cTid == o.cTid && cWarp == o.cWarp &&
+               cCta == o.cCta;
+    }
+};
+
+/** One LDG/STG/TEX/TLD site with its abstract address. */
+struct MemSite
+{
+    std::uint32_t pc = 0;
+    bool isStore = false;
+    AffineVal addr;
+};
+
+/**
+ * A pair of subwarp-concurrent, may-aliasing accesses (at least one a
+ * store) that no BSYNC orders. pcA <= pcB; pcA == pcB is a
+ * loop-carried self conflict.
+ */
+struct MayRacePair
+{
+    std::uint32_t pcA = 0;
+    std::uint32_t pcB = 0;
+    bool storeStore = false;  ///< both sides are stores
+    bool loopCarried = false; ///< concurrent via a CFG cycle, not
+                              ///< mutually exclusive sibling arms
+};
+
+/** Result of the static pass. */
+struct MemDepResult
+{
+    /** Every global-memory access site in pc order. */
+    std::vector<MemSite> sites;
+
+    /** Diagnosed pairs, sorted by (pcA, pcB) and deduplicated. */
+    std::vector<MayRacePair> pairs;
+
+    /**
+     * Store pcs whose address two distinct lanes of one subwarp may
+     * share — the static cover for the dynamic detector's
+     * intra-instruction conflicts. Part of the may-race set (the
+     * soundness contract) but not diagnosed as si-order-dependent.
+     */
+    std::vector<std::uint32_t> laneShared;
+
+    /** Membership test for the soundness cross-check (dynamic must be
+     *  a subset of this set). Accepts pcs in either order. */
+    bool mayRace(std::uint32_t a, std::uint32_t b) const;
+};
+
+/**
+ * Run the static pass. The program must already have passed the
+ * verifier's bounds checks (branch targets in range) — callers inside
+ * verifyProgram() guarantee this; standalone callers should
+ * verifyProgram() first.
+ */
+MemDepResult analyzeMemDep(const Program &program);
+
+} // namespace si
+
+#endif // SI_VERIFY_MEMDEP_HH

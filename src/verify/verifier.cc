@@ -7,6 +7,7 @@
 #include "common/sim_error.hh"
 #include "isa/builder.hh"
 #include "verify/cfg.hh"
+#include "verify/memdep.hh"
 
 namespace si {
 
@@ -488,12 +489,53 @@ class Verifier
         }
     }
 
+    // ---- pass 4: subwarp memory-order hazards (verify/memdep) -----------
+    //
+    // A may-aliasing store/load or store/store pair on subwarp-concurrent
+    // paths (sibling divergent arms, or distinct iterations of a
+    // divergent loop) with no BSYNC ordering the two accesses: the
+    // observed memory state depends on the subwarp schedule. Warning
+    // severity — the baseline lockstep schedule executes such programs
+    // deterministically, but any interleaving schedule (the paper's
+    // feature) legally reorders them; silint --Werror promotes it.
+
+    void
+    memdepPass()
+    {
+        const MemDepResult dep = analyzeMemDep(prog_);
+        for (const MayRacePair &p : dep.pairs) {
+            const char *opA = opcodeName(prog_.at(p.pcA).op);
+            const char *opB = opcodeName(prog_.at(p.pcB).op);
+            std::string msg;
+            if (p.pcA == p.pcB) {
+                msg = std::string(opA) +
+                      " may store to the same address on different "
+                      "iterations of a divergent loop with no BSYNC "
+                      "between them — the final value depends on subwarp "
+                      "schedule";
+            } else {
+                msg = std::string(opB) + " and the " + opA + " at " +
+                      pcRef(prog_, p.pcA) +
+                      " may touch the same address from " +
+                      (p.loopCarried
+                           ? "different iterations of a divergent loop"
+                           : "sibling divergent arms") +
+                      " with no BSYNC ordering them — the " +
+                      (p.storeStore ? "final value" : "observed value") +
+                      " depends on subwarp schedule";
+            }
+            diag(Severity::Warning, "si-order-dependent", p.pcB,
+                 std::move(msg));
+        }
+    }
+
     void
     finish()
     {
         const Cfg cfg = Cfg::build(prog_);
         dataflow(cfg);
         structural(cfg);
+        memdepPass();
     }
 
     const Program &prog_;

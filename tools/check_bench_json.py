@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate the simulator's machine-readable JSON documents: si-bench-v1
-(bench binaries, --json) and si-campaign-v1 (campaign manifests,
-swsim --campaign-state).
+(bench binaries, --json), si-campaign-v1 (campaign manifests,
+swsim --campaign-state), and si-lint-v1 (silint --json).
 
 Usage: check_bench_json.py SCHEMA.json DOC.json [DOC.json ...]
 
@@ -9,8 +9,10 @@ Pure standard library — implements the small subset of JSON Schema the
 checked-in schemas use (type, const, enum, required, properties,
 additionalProperties, items, minItems), plus structural rules the schema
 language cannot express: every si-bench-v1 table row must have exactly
-as many cells as the table has columns, and an si-campaign-v1 header's
-done/failed counts must match its cells array.
+as many cells as the table has columns, an si-campaign-v1 header's
+done/failed counts must match its cells array, and an si-lint-v1
+document's per-file and total severity counts must match its
+diagnostics arrays.
 
 Exit status: 0 if every file validates, 1 otherwise.
 """
@@ -110,6 +112,42 @@ def check_campaign(doc, errors):
         errors.append("$.complete: true, but %d cells are pending" % pending)
 
 
+def check_lint(doc, errors):
+    """si-lint-v1 rules: a checked file's severity counters must match
+    its diagnostics array, and the totals header must match the files
+    array (count and severity sums)."""
+    if not isinstance(doc, dict) or doc.get("schema") != "si-lint-v1":
+        return
+    files = [f for f in doc.get("files", []) if isinstance(f, dict)]
+    sums = {"errors": 0, "warnings": 0, "notes": 0}
+    for i, entry in enumerate(files):
+        if entry.get("status") != "checked":
+            continue
+        diags = [d for d in entry.get("diagnostics", []) if isinstance(d, dict)]
+        for sev, key in (("error", "errors"), ("warning", "warnings"),
+                         ("note", "notes")):
+            count = sum(1 for d in diags if d.get("severity") == sev)
+            if entry.get(key) != count:
+                errors.append(
+                    "$.files[%d].%s: header says %r but %d diagnostics are "
+                    "%s-severity" % (i, key, entry.get(key), count, sev)
+                )
+            sums[key] += count
+    totals = doc.get("totals", {})
+    if isinstance(totals, dict):
+        if totals.get("files") != len(files):
+            errors.append(
+                "$.totals.files: header says %r but %d files are listed"
+                % (totals.get("files"), len(files))
+            )
+        for key in ("errors", "warnings", "notes"):
+            if totals.get(key) != sums[key]:
+                errors.append(
+                    "$.totals.%s: header says %r but the files sum to %d"
+                    % (key, totals.get(key), sums[key])
+                )
+
+
 def main(argv):
     if len(argv) < 3:
         sys.stderr.write(
@@ -131,6 +169,7 @@ def main(argv):
             validate(doc, schema, "$", errors)
             check_tables(doc, errors)
             check_campaign(doc, errors)
+            check_lint(doc, errors)
         if errors:
             failed = True
             for err in errors:

@@ -29,6 +29,17 @@
  *                      is supposed to emit spotless programs), and
  *                      cross-checks the two oracles: any kernel the
  *                      verifier blesses must also agree dynamically.
+ *   --race             SI-hazard soundness mode: run every seed through
+ *                      the whole matrix with the happens-before race
+ *                      sanitizer attached (race/detector) and check it
+ *                      against the static may-race set (verify/memdep).
+ *                      A clean generated kernel must carry no static
+ *                      si-order-dependent pair and no dynamic race; the
+ *                      same seed regenerated with the racy-witness
+ *                      diamond must be flagged statically AND race
+ *                      dynamically with the witness pc pair; and every
+ *                      dynamic race anywhere must lie inside the static
+ *                      may-race set (dynamic subset-of static).
  *   --snapshot         additionally validate the determinism contract
  *                      (third oracle): each kernel runs fresh, fresh
  *                      with a mid-run checkpoint, and restored from that
@@ -67,7 +78,7 @@ usage()
                  "usage: difftest [--seeds N] [--seed S] [--shrink]\n"
                  "                [--inject scoreboard|dropwb|barrier] "
                  "[--verify] [--snapshot]\n"
-                 "                [--dump] [--jobs N] [-v]\n");
+                 "                [--race] [--dump] [--jobs N] [-v]\n");
 }
 
 /** printf into a per-seed output buffer (emitted later in seed order). */
@@ -104,6 +115,9 @@ struct SeedReport
     unsigned snap_checked = 0;
     unsigned snap_checkpointed = 0;
     unsigned snap_diverged = 0;
+    unsigned race_clean_flagged = 0;   ///< clean kernel flagged/racing
+    unsigned race_witness_missed = 0;  ///< witness not flagged or silent
+    unsigned race_unsound = 0;         ///< dynamic race outside static set
     std::string out; ///< buffered stdout text
 };
 
@@ -129,6 +143,7 @@ main(int argc, char **argv)
     std::uint64_t first_seed = 1;
     bool shrink = false;
     bool verify = false;
+    bool race = false;
     bool snapshot = false;
     bool dump = false;
     bool verbose = false;
@@ -156,6 +171,8 @@ main(int argc, char **argv)
             shrink = true;
         } else if (arg == "--verify") {
             verify = true;
+        } else if (arg == "--race") {
+            race = true;
         } else if (arg == "--snapshot") {
             snapshot = true;
         } else if (arg == "--dump") {
@@ -206,6 +223,13 @@ main(int argc, char **argv)
                      "difftest: --snapshot and --inject are exclusive\n");
         return 1;
     }
+    if (race && opts.inject) {
+        // Injected faults corrupt live machine state; races observed on
+        // a corrupted machine prove nothing about the static pass.
+        std::fprintf(stderr,
+                     "difftest: --race and --inject are exclusive\n");
+        return 1;
+    }
 
     unsigned failures = 0;
     unsigned fired = 0;
@@ -215,6 +239,9 @@ main(int argc, char **argv)
     unsigned snap_checked = 0;
     unsigned snap_checkpointed = 0;
     unsigned snap_diverged = 0;
+    unsigned race_clean_flagged = 0;
+    unsigned race_witness_missed = 0;
+    unsigned race_unsound = 0;
 
     // The determinism contract is checked on one baseline and one SI
     // point of the matrix; the full matrix would triple an already
@@ -257,6 +284,72 @@ main(int argc, char **argv)
                             (unsigned long long)s,
                             rep.render(&prog).c_str(),
                             prog.sourceText().c_str());
+                }
+            }
+
+            bool race_bad = false;
+            if (race) {
+                // Negative control: a clean generated kernel honors the
+                // soundness contract, so the static pass must diagnose
+                // nothing and the sanitizer must stay silent.
+                const si::RaceCheckResult rc =
+                    si::raceCheckProgram(prog, opts);
+                if (!rc.runError.empty() || rc.staticPairs != 0 ||
+                    !rc.dynamicRaces.empty()) {
+                    race_bad = true;
+                    ++sr.race_clean_flagged;
+                    appendf(sr.out,
+                            "seed %llu: clean kernel not race-free: "
+                            "%zu static pairs, %zu dynamic races%s%s\n",
+                            (unsigned long long)s, rc.staticPairs,
+                            rc.dynamicRaces.size(),
+                            rc.runError.empty() ? "" : ", run failed: ",
+                            rc.runError.c_str());
+                    for (const si::RaceReport &rr : rc.dynamicRaces) {
+                        appendf(sr.out,
+                                "  race: pc %u vs pc %u (%s, warp %u, "
+                                "lanes %u/%u)\n",
+                                rr.pcA, rr.pcB,
+                                rr.storeStore ? "store/store"
+                                              : "store/load",
+                                rr.warpId, rr.laneA, rr.laneB);
+                    }
+                }
+                if (!rc.sound()) {
+                    race_bad = true;
+                    ++sr.race_unsound;
+                }
+
+                // Positive control: the same seed with the racy-witness
+                // diamond appended must be flagged on both sides and
+                // stay inside the static may-race set.
+                si::KernelGenOptions gen;
+                gen.racyWitness = true;
+                const si::RaceCheckResult wc = si::raceCheckProgram(
+                    si::generateKernel(s, gen), opts);
+                if (!wc.runError.empty() || wc.staticPairs == 0 ||
+                    wc.dynamicRaces.empty()) {
+                    race_bad = true;
+                    ++sr.race_witness_missed;
+                    appendf(sr.out,
+                            "seed %llu: racy witness missed: "
+                            "%zu static pairs, %zu dynamic races%s%s\n",
+                            (unsigned long long)s, wc.staticPairs,
+                            wc.dynamicRaces.size(),
+                            wc.runError.empty() ? "" : ", run failed: ",
+                            wc.runError.c_str());
+                }
+                if (!wc.sound()) {
+                    race_bad = true;
+                    ++sr.race_unsound;
+                    for (const si::RaceReport &rr : wc.unsound) {
+                        appendf(sr.out,
+                                "seed %llu: UNSOUND dynamic race outside "
+                                "the static may-race set: pc %u vs pc %u "
+                                "(warp %u, lanes %u/%u)\n",
+                                (unsigned long long)s, rr.pcA, rr.pcB,
+                                rr.warpId, rr.laneA, rr.laneB);
+                    }
                 }
             }
 
@@ -321,7 +414,7 @@ main(int argc, char **argv)
             } else {
                 bad = !r.agree;
             }
-            bad = bad || snap_bad;
+            bad = bad || snap_bad || race_bad;
 
             if (verbose || bad) {
                 appendf(sr.out, "seed %llu: %s%s\n",
@@ -366,6 +459,9 @@ main(int argc, char **argv)
             snap_checked += sr.snap_checked;
             snap_checkpointed += sr.snap_checkpointed;
             snap_diverged += sr.snap_diverged;
+            race_clean_flagged += sr.race_clean_flagged;
+            race_witness_missed += sr.race_witness_missed;
+            race_unsound += sr.race_unsound;
         });
 
     if (opts.inject) {
@@ -393,6 +489,13 @@ main(int argc, char **argv)
         std::printf("difftest: verifier rejected %u kernels, "
                     "%u blessed kernels diverged dynamically\n",
                     lint_rejected, blessed_diverged);
+    }
+    if (race) {
+        std::printf("difftest: race oracle: %u clean kernels flagged, "
+                    "%u racy witnesses missed, %u unsound dynamic "
+                    "races\n",
+                    race_clean_flagged, race_witness_missed,
+                    race_unsound);
     }
     if (snapshot) {
         std::printf("difftest: replay oracle: %u runs, %u mid-run "

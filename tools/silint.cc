@@ -1,7 +1,8 @@
 /**
  * @file
  * silint — static lint for SASS-like kernels: CFG + dataflow checks for
- * scoreboard discipline and convergence-barrier pairing (src/verify).
+ * scoreboard discipline, convergence-barrier pairing, and the
+ * si-order-dependent memory-order hazard pass (src/verify).
  *
  *   silint [options] kernel.sasm...
  *
@@ -13,19 +14,32 @@
  *                 the CI golden file (tests/golden/silint_kernels.txt)
  *                 records for every checked-in kernel
  *   --quiet       print summaries/exit status only, not diagnostics
+ *   --json FILE   additionally write a machine-readable si-lint-v1
+ *                 report (schema: tools/lint_schema.json); FILE = -
+ *                 writes it to stdout
+ *   --jobs N      lint N files concurrently (default 1 = serial; 0 =
+ *                 all cores). Output is buffered per file and emitted
+ *                 in argument order; within a file diagnostics are
+ *                 sorted by line then severity — stdout, the JSON
+ *                 document, and the exit status are byte-identical at
+ *                 any jobs value.
  *
  * Exit status: 0 = every file assembled and carries no error (nor
  * warning under --Werror); 1 = some file has findings at the gating
  * severity; 2 = file unreadable or failed to assemble.
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
 #include "common/log.hh"
+#include "parallel/executor.hh"
 #include "verify/verifier.hh"
 
 namespace {
@@ -35,7 +49,8 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: silint [--Werror] [--no-notes] [--report] "
-                 "[--quiet] file.sasm...\n");
+                 "[--quiet]\n"
+                 "              [--json FILE] [--jobs N] file.sasm...\n");
 }
 
 /** Strip directories: diagnostics and reports stay path-independent. */
@@ -44,6 +59,63 @@ baseName(const std::string &path)
 {
     const std::size_t slash = path.find_last_of('/');
     return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+/** Everything linting one file produces, merged in argument order. */
+struct FileReport
+{
+    std::string text;    ///< rendered diagnostics (stdout)
+    std::string summary; ///< --report line (stdout)
+    std::string error;   ///< open/assembly failure (stderr)
+    std::string json;    ///< one object for the "files" array
+    unsigned errors = 0;
+    unsigned warnings = 0;
+    unsigned notes = 0;
+    bool broken = false; ///< unreadable or failed to assemble
+};
+
+/** Serialize one file's verdict as a si-lint-v1 "files" entry. */
+std::string
+fileJson(const std::string &file, const si::VerifyReport *rep,
+         const si::Program *prog, const std::string &error)
+{
+    si::json::Writer w;
+    w.beginObject();
+    w.key("file").value(file);
+    if (rep == nullptr) {
+        w.key("status").value(error.empty() ? "unreadable"
+                                            : "assembly-error");
+        w.key("error").value(error);
+        w.endObject();
+        return w.take();
+    }
+    w.key("status").value("checked");
+    w.key("errors").value(rep->errors());
+    w.key("warnings").value(rep->warnings());
+    w.key("notes").value(rep->notes());
+    w.key("diagnostics").beginArray();
+    // Same order as VerifyReport::render: line (pc) first, then
+    // severity — the ordering contract that keeps --jobs N output and
+    // the golden files stable.
+    std::vector<si::VerifyDiag> sorted = rep->diags;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const si::VerifyDiag &a, const si::VerifyDiag &b) {
+                         if (a.pc != b.pc)
+                             return a.pc < b.pc;
+                         return a.severity < b.severity;
+                     });
+    for (const si::VerifyDiag &d : sorted) {
+        w.beginObject();
+        w.key("pc").value(d.pc);
+        w.key("line").value(prog ? prog->sourceLine(d.pc) : 0u);
+        w.key("severity").value(si::severityName(d.severity));
+        w.key("code").value(d.code);
+        w.key("message").value(d.message);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.take();
 }
 
 } // namespace
@@ -56,6 +128,8 @@ main(int argc, char **argv)
     bool werror = false;
     bool report = false;
     bool quiet = false;
+    unsigned jobs = 1;
+    std::string json_path;
     si::VerifyOptions opts;
     std::vector<std::string> files;
 
@@ -69,6 +143,24 @@ main(int argc, char **argv)
             report = true;
         } else if (arg == "--quiet") {
             quiet = true;
+        } else if (arg == "--json") {
+            if (i + 1 >= argc) {
+                usage();
+                return 2;
+            }
+            json_path = argv[++i];
+        } else if (arg == "--jobs") {
+            if (i + 1 >= argc) {
+                usage();
+                return 2;
+            }
+            char *end = nullptr;
+            const unsigned long v = std::strtoul(argv[++i], &end, 0);
+            if (end == argv[i] || *end != '\0') {
+                usage();
+                return 2;
+            }
+            jobs = si::parallel::resolveJobs(unsigned(v));
         } else if (!arg.empty() && arg[0] == '-') {
             usage();
             return 2;
@@ -83,36 +175,100 @@ main(int argc, char **argv)
 
     bool gated = false;
     bool broken = false;
-    for (const std::string &path : files) {
-        std::ifstream in(path);
-        if (!in) {
-            std::fprintf(stderr, "silint: cannot open %s\n", path.c_str());
-            broken = true;
-            continue;
-        }
-        std::ostringstream text;
-        text << in.rdbuf();
+    unsigned total_errors = 0, total_warnings = 0, total_notes = 0;
+    std::vector<std::string> file_json;
 
-        const si::AsmResult asm_res = si::assemble(text.str());
-        if (!asm_res.ok) {
-            std::fprintf(stderr, "silint: %s: assembly failed: %s\n",
-                         baseName(path).c_str(), asm_res.error.c_str());
-            broken = true;
-            continue;
-        }
+    // Files are independent cells: each one's diagnostics, summary, and
+    // JSON fragment are produced in a FileReport and merged in argument
+    // order by the in-order sink, so every output channel is
+    // byte-identical at any --jobs value.
+    si::parallel::mapIndexed<FileReport>(
+        jobs, files.size(),
+        [&](std::size_t idx) {
+            const std::string &path = files[idx];
+            const std::string base = baseName(path);
+            FileReport fr;
 
-        const si::VerifyReport rep =
-            si::verifyProgram(asm_res.program, opts);
-        if (!quiet) {
-            std::fputs(rep.render(&asm_res.program, baseName(path)).c_str(),
-                       stdout);
+            std::ifstream in(path);
+            if (!in) {
+                fr.error = "silint: cannot open " + path + "\n";
+                fr.broken = true;
+                fr.json = fileJson(base, nullptr, nullptr, "");
+                return fr;
+            }
+            std::ostringstream text;
+            text << in.rdbuf();
+
+            const si::AsmResult asm_res = si::assemble(text.str());
+            if (!asm_res.ok) {
+                fr.error = "silint: " + base + ": assembly failed: " +
+                           asm_res.error + "\n";
+                fr.broken = true;
+                fr.json = fileJson(base, nullptr, nullptr, asm_res.error);
+                return fr;
+            }
+
+            const si::VerifyReport rep =
+                si::verifyProgram(asm_res.program, opts);
+            fr.text = rep.render(&asm_res.program, base);
+            if (report) {
+                fr.summary = base + ": " + std::to_string(rep.errors()) +
+                             " errors, " + std::to_string(rep.warnings()) +
+                             " warnings, " + std::to_string(rep.notes()) +
+                             " notes\n";
+            }
+            fr.errors = rep.errors();
+            fr.warnings = rep.warnings();
+            fr.notes = rep.notes();
+            fr.json = fileJson(base, &rep, &asm_res.program, "");
+            return fr;
+        },
+        [&](std::size_t, const FileReport &fr) {
+            if (!fr.error.empty())
+                std::fputs(fr.error.c_str(), stderr);
+            if (!quiet)
+                std::fputs(fr.text.c_str(), stdout);
+            if (!fr.summary.empty())
+                std::fputs(fr.summary.c_str(), stdout);
+            broken |= fr.broken;
+            gated |= fr.errors > 0 || (werror && fr.warnings > 0);
+            total_errors += fr.errors;
+            total_warnings += fr.warnings;
+            total_notes += fr.notes;
+            file_json.push_back(fr.json);
+        });
+
+    const int status = broken ? 2 : gated ? 1 : 0;
+    if (!json_path.empty()) {
+        si::json::Writer w;
+        w.beginObject();
+        w.key("schema").value("si-lint-v1");
+        w.key("tool").value("silint");
+        w.key("werror").value(werror);
+        w.key("files").beginArray();
+        for (const std::string &fj : file_json)
+            w.raw(fj);
+        w.endArray();
+        w.key("totals").beginObject();
+        w.key("files").value(std::uint64_t(file_json.size()));
+        w.key("errors").value(total_errors);
+        w.key("warnings").value(total_warnings);
+        w.key("notes").value(total_notes);
+        w.endObject();
+        w.key("exit_status").value(status);
+        w.endObject();
+        const std::string doc = w.take() + "\n";
+        if (json_path == "-") {
+            std::fwrite(doc.data(), 1, doc.size(), stdout);
+        } else {
+            std::ofstream out(json_path, std::ios::binary);
+            if (!out) {
+                std::fprintf(stderr, "silint: cannot write '%s'\n",
+                             json_path.c_str());
+                return 2;
+            }
+            out << doc;
         }
-        if (report) {
-            std::printf("%s: %u errors, %u warnings, %u notes\n",
-                        baseName(path).c_str(), rep.errors(),
-                        rep.warnings(), rep.notes());
-        }
-        gated |= !rep.clean() || (werror && rep.warnings() > 0);
     }
-    return broken ? 2 : gated ? 1 : 0;
+    return status;
 }

@@ -18,6 +18,11 @@
  *   --hints            run the static stall-hint pass + hint policy
  *   --sched gto|lrr    warp scheduler (default gto)
  *   --check-invariants run the opt-in machine-state audits
+ *   --race             attach the happens-before race sanitizer
+ *                      (race/detector): report every intra-warp
+ *                      subwarp-schedule-dependent access pair with both
+ *                      pcs, lanes, address, and cycle; exit 1 when any
+ *                      race is found
  *   --inject K         fault injection: K = scoreboard|dropwb|barrier;
  *                      corrupts live state mid-run and reports whether
  *                      the watchdog/checker caught it (exit 0 = caught)
@@ -73,6 +78,7 @@
 #include "harness/runner.hh"
 #include "isa/assembler.hh"
 #include "isa/stall_hints.hh"
+#include "race/detector.hh"
 #include "snapshot/snapshot.hh"
 #include "trace/chrome_trace.hh"
 #include "trace/sinks.hh"
@@ -88,7 +94,7 @@ usage()
                  "             [--trigger any|half|all] [--tst N] "
                  "[--sms N] [--slots N]\n"
                  "             [--mshrs N] [--hints] [--sched gto|lrr] "
-                 "[--stats]\n"
+                 "[--race] [--stats]\n"
                  "             [--stats-json FILE] [--trace] "
                  "[--trace-out FILE]\n"
                  "             [--trace-ring N] [--disasm] [--compare]\n"
@@ -169,6 +175,7 @@ main(int argc, char **argv)
     bool dump_stats = false, trace = false, disasm = false;
     bool compare = false;
     bool inject = false;
+    bool race = false;
     std::string stats_json_path, trace_out_path;
     si::FaultKind fault_kind = si::FaultKind::ScoreboardCorruption;
     unsigned checkpoint_every = 0;
@@ -257,6 +264,8 @@ main(int argc, char **argv)
             }
         } else if (a == "--check-invariants") {
             cfg.checkInvariants = true;
+        } else if (a == "--race") {
+            race = true;
         } else if (a == "--inject") {
             if (i + 1 >= argc || !parse_fault_kind(argv[++i],
                                                    fault_kind)) {
@@ -361,6 +370,19 @@ main(int argc, char **argv)
     cfg.siEnabled = si_on;
     cfg.yieldEnabled = yield;
     cfg.maxOutstandingMisses = mshrs;
+
+    si::RaceDetector race_det;
+    if (race) {
+        if (inject || !campaign_dir.empty()) {
+            // Injected faults corrupt live state (races on a corrupted
+            // machine prove nothing); campaign cells run in forked
+            // children whose detector state dies with them.
+            std::fprintf(stderr, "swsim: --race is exclusive with "
+                                 "--inject and campaign mode\n");
+            return 1;
+        }
+        cfg.raceHooks = &race_det;
+    }
 
     // Trace plumbing: print-as-you-go and/or record into a bounded ring
     // buffer for the Chrome-trace export.
@@ -569,6 +591,18 @@ main(int argc, char **argv)
         return 1;
     }
 
+    if (race) {
+        if (!race_det.races().empty()) {
+            std::fputs(race_det.report().c_str(), stdout);
+            std::fprintf(stderr,
+                         "swsim: %zu subwarp-schedule-dependent race "
+                         "pair(s) detected\n",
+                         race_det.races().size());
+            return 1;
+        }
+        std::printf("race sanitizer: no races detected\n");
+    }
+
     std::printf("%s: %llu cycles, %llu instructions, IPC %.3f, "
                 "%.1f%% exposed on memory\n",
                 prog.name().c_str(),
@@ -585,6 +619,7 @@ main(int argc, char **argv)
         base.yieldEnabled = false;
         base.dwsEnabled = false;
         base.traceSink = nullptr;
+        base.raceHooks = nullptr;
         si::Memory mem2;
         const si::GpuResult rb = si::simulate(base, mem2, prog,
                                               {warps, 4});
