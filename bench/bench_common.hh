@@ -39,9 +39,12 @@ class BenchJson
      * @param campaign_capable benches that route their sweep through the
      * crash-resumable campaign runner pass true to additionally accept
      * --campaign-state DIR and --campaign-resume.
+     * @param metrics_capable benches that export per-config si-stats-v1
+     * documents (swprof --diff inputs) pass true to additionally accept
+     * --metrics-out PREFIX.
      */
     BenchJson(std::string bench, int argc, char **argv,
-              bool campaign_capable = false)
+              bool campaign_capable = false, bool metrics_capable = false)
         : bench_(std::move(bench))
     {
         for (int i = 1; i < argc; ++i) {
@@ -56,15 +59,20 @@ class BenchJson
                 campaign_dir_ = argv[++i];
             } else if (campaign_capable && a == "--campaign-resume") {
                 campaign_resume_ = true;
+            } else if (metrics_capable && a == "--metrics-out" &&
+                       i + 1 < argc) {
+                metrics_out_ = argv[++i];
             } else {
                 std::fprintf(stderr,
                              "%s: unknown option '%s' "
-                             "(supported: --json FILE, --jobs N%s)\n",
+                             "(supported: --json FILE, --jobs N%s%s)\n",
                              bench_.c_str(), a.c_str(),
                              campaign_capable
                                  ? ", --campaign-state DIR, "
                                    "--campaign-resume"
-                                 : "");
+                                 : "",
+                             metrics_capable ? ", --metrics-out PREFIX"
+                                             : "");
                 std::exit(1);
             }
         }
@@ -82,6 +90,9 @@ class BenchJson
 
     /** Continue the campaign recorded in campaignDir(). */
     bool campaignResume() const { return campaign_resume_; }
+
+    /** Prefix for per-config si-stats-v1 exports ("" = none). */
+    const std::string &metricsOut() const { return metrics_out_; }
 
     /** Record a printed table (serialized immediately). */
     void table(const TablePrinter &t) { tables_.push_back(t.json()); }
@@ -133,6 +144,7 @@ class BenchJson
     unsigned jobs_ = 1;
     std::string campaign_dir_;
     bool campaign_resume_ = false;
+    std::string metrics_out_;
     std::vector<std::string> tables_; ///< pre-serialized JSON objects
     std::vector<std::pair<std::string, double>> metrics_;
 };

@@ -12,11 +12,32 @@
 
 #include "bench_common.hh"
 
+#include <cctype>
+
+#include "harness/report.hh"
+
+namespace {
+
+/** App name -> filesystem-safe fragment. */
+std::string
+slugOf(const std::string &name)
+{
+    std::string s = name;
+    for (char &c : s)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return s;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     si::verboseLogging = false;
-    si::bench::BenchJson bj("fig12b_stall_reduction", argc, argv);
+    si::bench::BenchJson bj("fig12b_stall_reduction", argc, argv,
+                            /*campaign_capable=*/false,
+                            /*metrics_capable=*/true);
     const si::GpuConfig base = si::baselineConfig();
     const si::GpuConfig si_cfg = si::withSi(base, si::bestSiConfigPoint());
 
@@ -35,6 +56,7 @@ main(int argc, char **argv)
     struct AppPair
     {
         si::GpuResult base, si;
+        std::vector<std::string> regions;
     };
     std::vector<double> totals, divergents;
     si::parallel::mapIndexed<AppPair>(
@@ -42,9 +64,31 @@ main(int argc, char **argv)
         [&](std::size_t i) {
             const si::Workload wl = si::buildApp(ids[i]);
             return AppPair{si::runWorkload(wl, base),
-                           si::runWorkload(wl, si_cfg)};
+                           si::runWorkload(wl, si_cfg),
+                           wl.program.regionNames()};
         },
         [&](std::size_t i, const AppPair &p) {
+            // Per-config si-stats-v1 exports: the base/test input pair
+            // for swprof --diff's per-region CPI-stack attribution.
+            if (!bj.metricsOut().empty()) {
+                si::StatsJsonOptions opts;
+                opts.regionNames = p.regions;
+                const std::string name = si::appName(ids[i]);
+                const std::string slug =
+                    bj.metricsOut() + "_" + slugOf(name);
+                for (const auto &[suffix, r] :
+                     {std::pair<const char *, const si::GpuResult *>{
+                          "_base.json", &p.base},
+                      {"_si.json", &p.si}}) {
+                    std::ofstream f(slug + suffix, std::ios::binary);
+                    if (f)
+                        f << si::statsJson(*r, name, opts);
+                    else
+                        std::fprintf(stderr,
+                                     "fig12b: cannot write '%s%s'\n",
+                                     slug.c_str(), suffix);
+                }
+            }
             const double tot = reduction(
                 double(p.base.total.exposedLoadStallCycles),
                 double(p.si.total.exposedLoadStallCycles));

@@ -91,11 +91,34 @@ check_exports() {
     "$dir/tools/swprof" kernels/fig9.sasm --si \
         --trace "$art/swprof_fig9_trace.json" \
         --json "$art/swprof_fig9_stalls.json" > "$art/swprof_fig9.txt"
+    echo "=== metrics exports $dir (si-metrics-v1 + si-profdiff-v1)"
+    # SI-off vs SI-on runs of the same kernel, windowed metrics plus
+    # region-annotated stats, then the profdiff reconciliation: swprof
+    # --diff exits nonzero on any residual, so this line IS the
+    # zero-residual gate even without python.
+    "$dir/tools/swsim" kernels/fig9.sasm \
+        --stats-json "$art/fig9_stats_base.json" \
+        --metrics-out "$art/fig9_metrics_base.json" \
+        --metrics-interval 100 > /dev/null
+    "$dir/tools/swsim" kernels/fig9.sasm --si \
+        --stats-json "$art/fig9_stats_si.json" \
+        --metrics-out "$art/fig9_metrics_si.json" \
+        --metrics-interval 100 > /dev/null
+    "$dir/tools/swprof" --diff \
+        "$art/fig9_stats_base.json" "$art/fig9_stats_si.json" \
+        --json "$art/fig9_profdiff.json" > /dev/null
+    "$dir/tools/swprof" --diff \
+        "$art/fig9_metrics_base.json" "$art/fig9_metrics_si.json" \
+        --json "$art/fig9_profdiff_metrics.json" > /dev/null
     if command -v python3 >/dev/null 2>&1; then
         python3 tools/check_bench_json.py tools/bench_schema.json \
             "$art/fig12a_speedup.json"
         python3 -m json.tool "$art/swprof_fig9_trace.json" > /dev/null
         python3 -m json.tool "$art/swprof_fig9_stalls.json" > /dev/null
+        python3 tools/check_bench_json.py tools/metrics_schema.json \
+            "$art/fig9_metrics_base.json" "$art/fig9_metrics_si.json"
+        python3 tools/check_bench_json.py tools/profdiff_schema.json \
+            "$art/fig9_profdiff.json" "$art/fig9_profdiff_metrics.json"
     else
         echo "=== python3 not installed; skipping the JSON schema gate"
     fi
@@ -130,6 +153,34 @@ check_campaign_soak() {
             "$state/campaign.json"
     else
         echo "=== python3 not installed; skipping the manifest schema gate"
+    fi
+}
+
+# The windowed metrics sampler must be fully functional with the trace
+# tier compiled out — it reads SmStats directly, not trace events. Run
+# the same SI-off/SI-on metrics export + zero-residual profdiff gate on
+# the -DSI_TRACE=OFF build.
+check_metrics_notrace() {
+    local dir=$1
+    local art="$dir/artifacts"
+    mkdir -p "$art"
+    echo "=== metrics exports $dir (sampler under SI_TRACE=OFF)"
+    "$dir/tools/swsim" kernels/fig9.sasm \
+        --metrics-out "$art/fig9_metrics_base.json" \
+        --metrics-interval 100 > /dev/null
+    "$dir/tools/swsim" kernels/fig9.sasm --si \
+        --metrics-out "$art/fig9_metrics_si.json" \
+        --metrics-interval 100 > /dev/null
+    "$dir/tools/swprof" --diff \
+        "$art/fig9_metrics_base.json" "$art/fig9_metrics_si.json" \
+        --json "$art/fig9_profdiff_metrics.json" > /dev/null
+    if command -v python3 >/dev/null 2>&1; then
+        python3 tools/check_bench_json.py tools/metrics_schema.json \
+            "$art/fig9_metrics_base.json" "$art/fig9_metrics_si.json"
+        python3 tools/check_bench_json.py tools/profdiff_schema.json \
+            "$art/fig9_profdiff_metrics.json"
+    else
+        echo "=== python3 not installed; skipping the JSON schema gate"
     fi
 }
 
@@ -180,5 +231,6 @@ check_perf build-release
 run build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSI_SANITIZE=address,undefined
 run_tsan build-tsan
 run build-notrace -DCMAKE_BUILD_TYPE=Release -DSI_TRACE=OFF
+check_metrics_notrace build-notrace
 
 echo "=== ci.sh: all green"

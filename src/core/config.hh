@@ -20,6 +20,39 @@ namespace si {
 class Gpu;
 class RaceHooks;
 class TraceSink;
+class SnapshotWriter;
+class SnapshotReader;
+
+/**
+ * Abstract per-cycle metrics observer, installed via
+ * GpuConfig::metricsSampler. The run loop calls onCycle() at the top of
+ * every iteration (a cycle boundary: no SM has ticked yet, matching the
+ * checkpoint hook's firing point) and finish() once after the loop
+ * ends. The interface lives here, not in src/metrics, so the core never
+ * depends on the metrics layer; MetricsSampler (metrics/sampler.hh) is
+ * the in-tree implementation. Samplers are read-only observers — they
+ * must not mutate machine state — and participate in checkpoints
+ * through save()/restore() (the SnapTag::Metrics section), so a
+ * resumed run reproduces the exact window series of an uninterrupted
+ * one.
+ */
+class CycleSampler
+{
+  public:
+    virtual ~CycleSampler() = default;
+
+    /** Called at the top of every run-loop iteration. */
+    virtual void onCycle(const Gpu &gpu, Cycle now) = 0;
+
+    /** Called once after the run loop ends; flushes the open window. */
+    virtual void finish(const Gpu &gpu, Cycle now) = 0;
+
+    /** Serialize sampler state into a checkpoint. */
+    virtual void save(SnapshotWriter &w) const = 0;
+
+    /** Restore state serialized by save(). */
+    virtual void restore(SnapshotReader &r) = 0;
+};
 
 /**
  * Optional per-cycle hook called before the SMs tick. The fault-injection
@@ -207,6 +240,14 @@ struct GpuConfig
      * the rest compile out with -DSI_TRACE=OFF.
      */
     TraceSink *traceSink = nullptr;
+
+    /**
+     * Windowed metrics sampler (null = off). Non-owning; must outlive
+     * the run. Called every cycle before the SMs tick; see CycleSampler.
+     * Excluded from configFingerprint like the other hooks — sampling
+     * never perturbs the simulation.
+     */
+    CycleSampler *metricsSampler = nullptr;
 
     /**
      * Dynamic race sanitizer (null = off). Non-owning; must outlive the

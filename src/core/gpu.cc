@@ -172,6 +172,13 @@ Gpu::runLoop(GpuResult &result)
             (config_.checkpointHook)(*this, now_);
         }
 
+        // Sample after the checkpoint hook: a snapshot taken at cycle N
+        // holds the sampler state from before onCycle(N), and the
+        // resumed loop re-fires onCycle(N) exactly once — so a resumed
+        // run's window series is bit-identical to an uninterrupted one.
+        if (config_.metricsSampler)
+            config_.metricsSampler->onCycle(*this, now_);
+
         if (config_.faultHook)
             (config_.faultHook)(*this, now_);
 
@@ -241,6 +248,9 @@ Gpu::finalize(GpuResult &result)
         }
     }
 
+    if (config_.metricsSampler)
+        config_.metricsSampler->finish(*this, now_);
+
     for (auto &sm : sms_) {
         sm->finalizeStats();
         result.perSm.push_back(sm->stats());
@@ -303,6 +313,14 @@ Gpu::save(SnapshotWriter &w) const
     for (const auto &sm : sms_)
         sm->save(w);
 
+    // Sampler presence is part of the format: restoring under a
+    // different sampler setup would silently desynchronize the window
+    // series, so mismatches fail loudly instead.
+    w.tag(SnapTag::Metrics);
+    w.b(config_.metricsSampler != nullptr);
+    if (config_.metricsSampler)
+        config_.metricsSampler->save(w);
+
     w.tag(SnapTag::End);
 }
 
@@ -351,6 +369,17 @@ Gpu::restore(SnapshotReader &r)
                  static_cast<unsigned long long>(num_sms), sms_.size());
     for (auto &sm : sms_)
         sm->restore(r);
+
+    r.tag(SnapTag::Metrics);
+    const bool has_sampler = r.b();
+    sim_throw_if(has_sampler != (config_.metricsSampler != nullptr),
+                 ErrorKind::Snapshot,
+                 "checkpoint was taken with a metrics sampler %s but the "
+                 "resuming run has one %s",
+                 has_sampler ? "installed" : "absent",
+                 config_.metricsSampler ? "installed" : "absent");
+    if (config_.metricsSampler)
+        config_.metricsSampler->restore(r);
 
     r.tag(SnapTag::End);
     r.expectEnd();

@@ -134,8 +134,9 @@ class Gpu
     /** Cycle the run loop is at (checkpoint naming, diagnostics). */
     Cycle currentCycle() const { return now_; }
 
-    /** Access an SM (tests). */
+    /** Access an SM (tests; const form for mid-run samplers). */
     Sm &sm(unsigned i) { return *sms_[i]; }
+    const Sm &sm(unsigned i) const { return *sms_[i]; }
     unsigned numSms() const { return unsigned(sms_.size()); }
 
     /** The effective configuration (hooks like fault injection use the

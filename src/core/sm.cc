@@ -53,6 +53,35 @@ compareF(CmpOp op, float a, float b)
     return false;
 }
 
+/**
+ * Classify a lost issue slot as one of the paper's Figure 3 stall
+ * reasons, mirroring the SmStats counter switch in Sm::tick() exactly
+ * so per-reason totals reconcile with the counters:
+ * LoadToUse+Barrier+NoReadySubwarp == warpScoreboardStallCycles,
+ * IFetch == warpFetchStallCycles, Pipe == warpPipeStallCycles,
+ * Switch == warpSwitchCycles. Shared by the per-reason SmStats
+ * counters and the StallCycle trace events.
+ */
+StallReason
+classifyStall(const Warp &w, WarpStatus st)
+{
+    switch (st) {
+      case WarpStatus::ScoreboardStall:
+        return StallReason::LoadToUse;
+      case WarpStatus::FetchStall:
+        return StallReason::IFetch;
+      case WarpStatus::PipeStall:
+        return StallReason::Pipe;
+      case WarpStatus::Busy:
+        return StallReason::Switch;
+      case WarpStatus::WaitWakeup:
+      default:
+        return w.lanesInState(ThreadState::Blocked).any()
+                   ? StallReason::Barrier
+                   : StallReason::NoReadySubwarp;
+    }
+}
+
 #if SI_TRACE_ENABLED
 
 TraceEvent
@@ -81,38 +110,11 @@ cacheEvent(TraceEventKind kind, unsigned sm_id, const Warp &w, Cycle now,
     return ev;
 }
 
-/**
- * Classify a lost issue slot as one of the paper's Figure 3 stall
- * reasons. The mapping mirrors the SmStats counter switch in Sm::tick()
- * exactly, so per-reason profiler totals reconcile with the counters:
- * LoadToUse+Barrier+NoReadySubwarp == warpScoreboardStallCycles,
- * IFetch == warpFetchStallCycles, Pipe == warpPipeStallCycles,
- * Switch == warpSwitchCycles.
- */
+/** A StallCycle event for @p w, bucketed by classifyStall(). */
 TraceEvent
 stallEvent(unsigned sm_id, const Warp &w, WarpStatus st, Cycle now)
 {
-    StallReason reason;
-    switch (st) {
-      case WarpStatus::ScoreboardStall:
-        reason = StallReason::LoadToUse;
-        break;
-      case WarpStatus::FetchStall:
-        reason = StallReason::IFetch;
-        break;
-      case WarpStatus::PipeStall:
-        reason = StallReason::Pipe;
-        break;
-      case WarpStatus::Busy:
-        reason = StallReason::Switch;
-        break;
-      case WarpStatus::WaitWakeup:
-      default:
-        reason = w.lanesInState(ThreadState::Blocked).any()
-                     ? StallReason::Barrier
-                     : StallReason::NoReadySubwarp;
-        break;
-    }
+    const StallReason reason = classifyStall(w, st);
 
     // Attribute to the active pc; with no ACTIVE subwarp, to the first
     // stalled TST entry's pc (the load the warp is waiting behind).
@@ -141,6 +143,16 @@ stallEvent(unsigned sm_id, const Warp &w, WarpStatus st, Cycle now)
 #endif // SI_TRACE_ENABLED
 
 } // namespace
+
+void
+RegionCounters::accumulate(const RegionCounters &other)
+{
+    warpCycles += other.warpCycles;
+    instrsIssued += other.instrsIssued;
+    arbLossCycles += other.arbLossCycles;
+    for (std::size_t i = 0; i < stallCyclesByReason.size(); ++i)
+        stallCyclesByReason[i] += other.stallCyclesByReason[i];
+}
 
 void
 SmStats::accumulate(const SmStats &other)
@@ -174,6 +186,17 @@ SmStats::accumulate(const SmStats &other)
     l1iMisses += other.l1iMisses;
     l0iHits += other.l0iHits;
     l0iMisses += other.l0iMisses;
+    liveWarpCycles += other.liveWarpCycles;
+    arbLossCycles += other.arbLossCycles;
+    for (std::size_t i = 0; i < stallCyclesByReason.size(); ++i)
+        stallCyclesByReason[i] += other.stallCyclesByReason[i];
+    warpCyclesSubwarpFull += other.warpCyclesSubwarpFull;
+    warpCyclesSubwarpPartial += other.warpCyclesSubwarpPartial;
+    warpCyclesSubwarpNone += other.warpCyclesSubwarpNone;
+    if (regions.size() < other.regions.size())
+        regions.resize(other.regions.size());
+    for (std::size_t i = 0; i < other.regions.size(); ++i)
+        regions[i].accumulate(other.regions[i]);
 }
 
 void
@@ -209,6 +232,21 @@ SmStats::save(SnapshotWriter &w) const
     w.u64(l1iMisses);
     w.u64(l0iHits);
     w.u64(l0iMisses);
+    w.u64(liveWarpCycles);
+    w.u64(arbLossCycles);
+    for (std::uint64_t v : stallCyclesByReason)
+        w.u64(v);
+    w.u64(warpCyclesSubwarpFull);
+    w.u64(warpCyclesSubwarpPartial);
+    w.u64(warpCyclesSubwarpNone);
+    w.u64(regions.size());
+    for (const RegionCounters &rc : regions) {
+        w.u64(rc.warpCycles);
+        w.u64(rc.instrsIssued);
+        w.u64(rc.arbLossCycles);
+        for (std::uint64_t v : rc.stallCyclesByReason)
+            w.u64(v);
+    }
 }
 
 void
@@ -244,6 +282,21 @@ SmStats::restore(SnapshotReader &r)
     l1iMisses = r.u64();
     l0iHits = r.u64();
     l0iMisses = r.u64();
+    liveWarpCycles = r.u64();
+    arbLossCycles = r.u64();
+    for (std::uint64_t &v : stallCyclesByReason)
+        v = r.u64();
+    warpCyclesSubwarpFull = r.u64();
+    warpCyclesSubwarpPartial = r.u64();
+    warpCyclesSubwarpNone = r.u64();
+    regions.resize(r.u64());
+    for (RegionCounters &rc : regions) {
+        rc.warpCycles = r.u64();
+        rc.instrsIssued = r.u64();
+        rc.arbLossCycles = r.u64();
+        for (std::uint64_t &v : rc.stallCyclesByReason)
+            v = r.u64();
+    }
 }
 
 Sm::Sm(unsigned id, const GpuConfig &config, Memory &memory,
@@ -463,6 +516,14 @@ Sm::pushWriteback(Cycle when, unsigned warp_idx, ThreadMask mask,
                   SbIndex sb, WbPort port)
 {
     events_.emplace(when, Writeback{warp_idx, mask, sb, port});
+}
+
+RegionCounters &
+Sm::regionAt(std::uint32_t idx)
+{
+    if (stats_.regions.size() <= idx)
+        stats_.regions.resize(std::size_t(idx) + 1);
+    return stats_.regions[idx];
 }
 
 bool
@@ -935,6 +996,13 @@ Sm::issue(unsigned warp_idx, Cycle now)
             unit_.subwarpYield(w, now);
         break;
 
+      case Opcode::MARKER:
+        // Region marker: retag the warp's metrics region. Costs one
+        // issue slot (NOP timing); the slot is attributed to the region
+        // being opened, below.
+        w.currentRegion = std::uint32_t(in.imm);
+        break;
+
       case Opcode::EXIT: {
         if (exec == active) {
             unit_.exitLanes(w, exec, now);
@@ -951,6 +1019,14 @@ Sm::issue(unsigned warp_idx, Cycle now)
       default:
         sim_throw(ErrorKind::Internal, "unhandled opcode %s",
                   opcodeName(in.op));
+    }
+
+    // Region attribution of the issued slot, after the opcode switch so
+    // a MARKER's own issue lands in the region it opens.
+    {
+        RegionCounters &rc = regionAt(w.currentRegion);
+        ++rc.warpCycles;
+        ++rc.instrsIssued;
     }
 
     if (!advanced)
@@ -1014,6 +1090,20 @@ Sm::tick(Cycle now)
             if (st == WarpStatus::Done)
                 continue;
             ++live;
+            Warp &w = *warps_[wi];
+
+            // Warp-cycle partition and subwarp-mode residency (sampled
+            // after evalWarp, so a subwarp promoted this cycle counts
+            // as active).
+            ++stats_.liveWarpCycles;
+            const ThreadMask active_now = w.activeMask();
+            if (active_now.empty())
+                ++stats_.warpCyclesSubwarpNone;
+            else if (active_now == w.live())
+                ++stats_.warpCyclesSubwarpFull;
+            else
+                ++stats_.warpCyclesSubwarpPartial;
+
             switch (st) {
               case WarpStatus::ScoreboardStall:
               case WarpStatus::WaitWakeup:
@@ -1036,12 +1126,18 @@ Sm::tick(Cycle now)
               default:
                 break;
             }
-            // One StallCycle event per lost warp-slot, bucketed by the
-            // same classification the counters above use (the profiler
-            // reconciles the two exactly).
+            // One per-reason count (and one StallCycle event) per lost
+            // warp-slot, bucketed by the same classification as the
+            // legacy counters above — the profiler and the windowed
+            // metrics sampler reconcile the two exactly.
             if (st != WarpStatus::Issuable) {
+                const StallReason reason = classifyStall(w, st);
+                ++stats_.stallCyclesByReason[std::size_t(reason)];
+                RegionCounters &rc = regionAt(w.currentRegion);
+                ++rc.warpCycles;
+                ++rc.stallCyclesByReason[std::size_t(reason)];
                 SI_TRACE_EVENT(config_.traceSink,
-                               stallEvent(id_, *warps_[wi], st, now));
+                               stallEvent(id_, w, st, now));
             }
         }
         any_live |= live > 0;
@@ -1077,6 +1173,20 @@ Sm::tick(Cycle now)
             issue(unsigned(pick), now);
             pb.gtoCurrent = pick;
             ++issued_total;
+        }
+
+        // Arbitration losses: issuable warps that lost the slot to the
+        // pick. Together with the per-reason stall counts and the issue
+        // itself this closes the per-cycle warp-cycle partition.
+        for (unsigned wi : pb.resident) {
+            if (statusScratch_[wi] != WarpStatus::Issuable ||
+                int(wi) == pick) {
+                continue;
+            }
+            ++stats_.arbLossCycles;
+            RegionCounters &rc = regionAt(warps_[wi]->currentRegion);
+            ++rc.warpCycles;
+            ++rc.arbLossCycles;
         }
 
         // ---- SI: policy-gated subwarp-stall demotion ----
@@ -1196,37 +1306,48 @@ Sm::dropPendingWriteback()
     return buf;
 }
 
-void
-Sm::finalizeStats()
+SmStats
+Sm::liveStats() const
 {
+    SmStats s = stats_;
+
     // Retirement is otherwise only observed when a slot is recycled;
     // recount here so warps that finish last are included.
-    stats_.warpsRetired = 0;
+    s.warpsRetired = 0;
     for (const auto &w : warps_) {
         if (w->done())
-            ++stats_.warpsRetired;
+            ++s.warpsRetired;
     }
 
     const SubwarpUnitStats &us = unit_.stats();
-    stats_.divergentBranches = us.divergentBranches;
-    stats_.reconvergences = us.reconvergences;
-    stats_.subwarpSelects = us.subwarpSelects;
-    stats_.subwarpStalls = us.subwarpStalls;
-    stats_.subwarpWakeups = us.subwarpWakeups;
-    stats_.subwarpYields = us.subwarpYields;
-    stats_.tstFullDenials = us.stallDemotionsDeniedTstFull;
+    s.divergentBranches = us.divergentBranches;
+    s.reconvergences = us.reconvergences;
+    s.subwarpSelects = us.subwarpSelects;
+    s.subwarpStalls = us.subwarpStalls;
+    s.subwarpWakeups = us.subwarpWakeups;
+    s.subwarpYields = us.subwarpYields;
+    s.tstFullDenials = us.stallDemotionsDeniedTstFull;
 
-    stats_.l1dHits = l1d_.hits();
-    stats_.l1dMisses = l1d_.misses();
-    stats_.l1iHits = l1i_.hits();
-    stats_.l1iMisses = l1i_.misses();
+    s.l1dHits = l1d_.hits();
+    s.l1dMisses = l1d_.misses();
+    s.l1iHits = l1i_.hits();
+    s.l1iMisses = l1i_.misses();
 
-    stats_.l0iHits = 0;
-    stats_.l0iMisses = 0;
+    s.l0iHits = 0;
+    s.l0iMisses = 0;
     for (const auto &pb : pbs_) {
-        stats_.l0iHits += pb.l0i.hits();
-        stats_.l0iMisses += pb.l0i.misses();
+        s.l0iHits += pb.l0i.hits();
+        s.l0iMisses += pb.l0i.misses();
     }
+    return s;
+}
+
+void
+Sm::finalizeStats()
+{
+    // Every fold in liveStats() is set-not-add, so finalizing is
+    // idempotent and safe after any number of mid-run samples.
+    stats_ = liveStats();
 }
 
 void

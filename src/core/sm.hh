@@ -10,6 +10,7 @@
 #ifndef SI_CORE_SM_HH
 #define SI_CORE_SM_HH
 
+#include <array>
 #include <deque>
 #include <map>
 #include <memory>
@@ -21,6 +22,7 @@
 #include "mem/cache.hh"
 #include "mem/memory.hh"
 #include "rtcore/rtcore.hh"
+#include "trace/events.hh"
 
 namespace si {
 
@@ -33,6 +35,23 @@ enum class WarpStatus : std::uint8_t {
     PipeStall,       ///< short-latency operand not yet ready
     WaitWakeup,      ///< no ACTIVE subwarp; all demoted subwarps pending
     Done,            ///< every lane exited
+};
+
+/**
+ * Warp-cycle accounting for one MARKER-delimited kernel region, indexed
+ * by the program's region-table index (0 = the implicit "_entry"). The
+ * same partition identity as the SM-wide counters holds per region:
+ *   warpCycles == instrsIssued + arbLossCycles + sum(stallCyclesByReason)
+ */
+struct RegionCounters
+{
+    std::uint64_t warpCycles = 0;
+    std::uint64_t instrsIssued = 0;
+    std::uint64_t arbLossCycles = 0;
+    std::array<std::uint64_t, numStallReasons> stallCyclesByReason{};
+
+    void accumulate(const RegionCounters &other);
+    bool operator==(const RegionCounters &) const = default;
 };
 
 /** Aggregate statistics for one SM (and, summed, for the GPU). */
@@ -86,6 +105,30 @@ struct SmStats
     std::uint64_t l1dHits = 0, l1dMisses = 0;
     std::uint64_t l1iHits = 0, l1iMisses = 0;
     std::uint64_t l0iHits = 0, l0iMisses = 0;
+
+    /**
+     * Warp-cycle partition (observability layer): every resident,
+     * unfinished warp contributes exactly one unit per SM cycle to
+     * either an issue, an arbitration loss (issuable but another warp
+     * won the slot), or one of the Figure-3 stall reasons, so
+     *   liveWarpCycles == instrsIssued + arbLossCycles
+     *                     + sum(stallCyclesByReason)
+     * holds exactly — the zero-residual base of swprof --diff.
+     */
+    std::uint64_t liveWarpCycles = 0;
+    std::uint64_t arbLossCycles = 0;
+    std::array<std::uint64_t, numStallReasons> stallCyclesByReason{};
+
+    /**
+     * Subwarp-mode residency: live warp-cycles split by the shape of
+     * the active mask (full warp / divergent subwarp / none active).
+     */
+    std::uint64_t warpCyclesSubwarpFull = 0;
+    std::uint64_t warpCyclesSubwarpPartial = 0;
+    std::uint64_t warpCyclesSubwarpNone = 0;
+
+    /** Per-region attribution, indexed by program region-table index. */
+    std::vector<RegionCounters> regions;
 
     /** Accumulate another SM's statistics into this one. */
     void accumulate(const SmStats &other);
@@ -143,6 +186,13 @@ class Sm
 
     /** Finalize statistics (fold in unit/cache counters). */
     void finalizeStats();
+
+    /**
+     * Current statistics with the unit/cache counters folded in, valid
+     * at any cycle boundary — what the windowed metrics sampler reads
+     * mid-run. finalizeStats() is exactly stats() = liveStats().
+     */
+    SmStats liveStats() const;
 
     // ---- fault-tolerance support ----
 
@@ -242,6 +292,9 @@ class Sm
 
     /** True when the stalling subwarp(s) of @p warp are divergent. */
     bool stallIsDivergent(const Warp &warp, WarpStatus status) const;
+
+    /** Per-region counter slot for @p idx, growing the table on demand. */
+    RegionCounters &regionAt(std::uint32_t idx);
 
     unsigned id_;
     const GpuConfig &config_;

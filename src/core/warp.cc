@@ -113,6 +113,7 @@ Warp::save(SnapshotWriter &w) const
     w.u32(selectCursor);
     w.u64(lastIssueCycle);
     w.u32(fetchedPc);
+    w.u32(currentRegion);
 }
 
 void
@@ -167,6 +168,7 @@ Warp::restore(SnapshotReader &r)
     selectCursor = r.u32();
     lastIssueCycle = r.u64();
     fetchedPc = r.u32();
+    currentRegion = r.u32();
 }
 
 } // namespace si

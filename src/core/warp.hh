@@ -203,6 +203,13 @@ class Warp
     /** PC whose instruction is resident in the per-warp fetch buffer. */
     std::uint32_t fetchedPc = 0xffffffffu;
 
+    /**
+     * Metrics region the warp is currently attributed to: an index into
+     * its program's region-name table, retagged by executing MARKER.
+     * Index 0 is the implicit "_entry" region.
+     */
+    std::uint32_t currentRegion = 0;
+
     /** CTA this warp belongs to (S2R CTAID). */
     unsigned ctaId = 0;
 

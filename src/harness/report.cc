@@ -2,8 +2,24 @@
 
 #include "common/json.hh"
 #include "common/stats.hh"
+#include "trace/events.hh"
 
 namespace si {
+
+namespace {
+
+/** "load-to-use" -> "load_to_use": stat-scalar-safe reason name. */
+std::string
+reasonKey(unsigned reason)
+{
+    std::string s = stallReasonName(StallReason(reason));
+    for (char &c : s)
+        if (c == '-')
+            c = '_';
+    return s;
+}
+
+} // namespace
 
 StatGroup
 statsGroup(const std::string &name, const SmStats &s,
@@ -40,6 +56,14 @@ statsGroup(const std::string &name, const SmStats &s,
     g.scalar("l1i_misses") = s.l1iMisses;
     g.scalar("l0i_hits") = s.l0iHits;
     g.scalar("l0i_misses") = s.l0iMisses;
+    g.scalar("live_warp_cycles") = s.liveWarpCycles;
+    g.scalar("arb_loss_cycles") = s.arbLossCycles;
+    for (unsigned k = 0; k < numStallReasons; ++k)
+        g.scalar("stall_cycles_" + reasonKey(k)) =
+            s.stallCyclesByReason[k];
+    g.scalar("warp_cycles_subwarp_full") = s.warpCyclesSubwarpFull;
+    g.scalar("warp_cycles_subwarp_partial") = s.warpCyclesSubwarpPartial;
+    g.scalar("warp_cycles_subwarp_none") = s.warpCyclesSubwarpNone;
 
     g.formula("ipc", [&s]() {
         return s.cycles ? double(s.instrsIssued) / double(s.cycles) : 0.0;
@@ -59,6 +83,14 @@ statsGroup(const std::string &name, const SmStats &s,
     g.formula("l0i_miss_rate", [&s]() {
         const double total = double(s.l0iHits + s.l0iMisses);
         return total > 0 ? double(s.l0iMisses) / total : 0.0;
+    });
+    // Zero by the warp-cycle partition identity (core/sm.hh); anything
+    // else means the instrumentation lost a warp-cycle.
+    g.formula("warp_cycle_residual", [&s]() {
+        std::uint64_t accounted = s.instrsIssued + s.arbLossCycles;
+        for (std::uint64_t v : s.stallCyclesByReason)
+            accounted += v;
+        return double(s.liveWarpCycles) - double(accounted);
     });
     return g;
 }
@@ -81,7 +113,8 @@ statsReport(const GpuResult &result)
 }
 
 std::string
-statsJson(const GpuResult &result, const std::string &kernel)
+statsJson(const GpuResult &result, const std::string &kernel,
+          const StatsJsonOptions &options)
 {
     json::Writer w;
     w.beginObject();
@@ -99,6 +132,31 @@ statsJson(const GpuResult &result, const std::string &kernel)
                   .dumpJson());
     }
     w.endArray();
+    // Aggregate per-region warp-cycle partition (swprof --diff input).
+    w.key("regions").beginArray();
+    for (std::size_t i = 0; i < result.total.regions.size(); ++i) {
+        const RegionCounters &rc = result.total.regions[i];
+        w.beginObject();
+        w.key("name").value(i < options.regionNames.size()
+                                ? options.regionNames[i]
+                                : "region" + std::to_string(i));
+        w.key("warp_cycles").value(rc.warpCycles);
+        w.key("instrs_issued").value(rc.instrsIssued);
+        w.key("arb_loss_cycles").value(rc.arbLossCycles);
+        w.key("stall_cycles").beginObject();
+        for (unsigned k = 0; k < numStallReasons; ++k)
+            w.key(stallReasonName(StallReason(k)))
+                .value(rc.stallCyclesByReason[k]);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    if (options.includeTrace) {
+        w.key("trace").beginObject();
+        w.key("recorded").value(options.traceRecorded);
+        w.key("dropped").value(options.traceDropped);
+        w.endObject();
+    }
     w.endObject();
     return w.take();
 }

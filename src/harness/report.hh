@@ -38,13 +38,31 @@ std::string statsReport(const std::string &name, const SmStats &stats,
 /** Render the aggregate and per-SM statistics of a run. */
 std::string statsReport(const GpuResult &result);
 
+/** Optional extras attached to an si-stats-v1 document. */
+struct StatsJsonOptions
+{
+    /**
+     * Region-name table (Program::regionNames()) labelling the
+     * aggregate per-region counters in the top-level "regions" array;
+     * indices beyond the table fall back to "region<i>".
+     */
+    std::vector<std::string> regionNames;
+
+    /** When true, emit a "trace" object with the sink's drop stats. */
+    bool includeTrace = false;
+    std::uint64_t traceRecorded = 0;
+    std::uint64_t traceDropped = 0;
+};
+
 /**
  * Machine-readable run statistics ("si-stats-v1"): run status, cycles,
- * and one StatGroup JSON object per group (aggregate "gpu" first, then
- * per-SM), all with stable key order. swsim --stats-json emits this.
+ * one StatGroup JSON object per group (aggregate "gpu" first, then
+ * per-SM), and the aggregate per-region warp-cycle partition, all with
+ * stable key order. swsim --stats-json emits this.
  */
 std::string statsJson(const GpuResult &result,
-                      const std::string &kernel = "");
+                      const std::string &kernel = "",
+                      const StatsJsonOptions &options = {});
 
 } // namespace si
 

@@ -159,7 +159,7 @@ parseOpcode(const std::string &s)
         {"TLD", Opcode::TLD},       {"RTQUERY", Opcode::RTQUERY},
         {"BRA", Opcode::BRA},       {"BSSY", Opcode::BSSY},
         {"BSYNC", Opcode::BSYNC},   {"YIELD", Opcode::YIELD},
-        {"EXIT", Opcode::EXIT},
+        {"EXIT", Opcode::EXIT},     {"MARKER", Opcode::MARKER},
     };
     auto it = table.find(s);
     if (it == table.end())
@@ -187,6 +187,9 @@ assemble(const std::string &source)
     std::vector<Fixup> fixups;
     std::string kernel_name = "asm_kernel";
     unsigned num_regs = 32;
+    // Region table for MARKER, interned in first-occurrence order so
+    // sourceText() -> assemble() round-trips marker indices exactly.
+    std::vector<std::string> regions = {"_entry"};
 
     auto fail = [&](int line, const std::string &msg) {
         res.ok = false;
@@ -475,6 +478,20 @@ assemble(const std::string &source)
             bad = !need(1) || !parseBar(ops[0], ins.bar);
             break;
 
+          case Opcode::MARKER: {
+            // MARKER <region-name>: intern the name, imm = table index.
+            bad = !need(1);
+            if (!bad) {
+                std::uint32_t idx = 0;
+                while (idx < regions.size() && regions[idx] != ops[0])
+                    ++idx;
+                if (idx == regions.size())
+                    regions.push_back(ops[0]);
+                ins.imm = std::int32_t(idx);
+            }
+            break;
+          }
+
           default:
             // Generic 3-operand ALU.
             bad = !need(3) || !reg(0, ins.dst) || !reg(1, ins.srcA) ||
@@ -502,6 +519,7 @@ assemble(const std::string &source)
     Program prog(kernel_name, std::move(instrs), num_regs);
     prog.setLabels(std::move(labels));
     prog.setSourceLines(std::move(lines));
+    prog.setRegions(std::move(regions));
     std::string err = prog.check();
     if (!err.empty()) {
         res.ok = false;

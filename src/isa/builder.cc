@@ -407,6 +407,20 @@ KernelBuilder::nop()
     return push(Instr{});
 }
 
+Instr &
+KernelBuilder::marker(const std::string &region)
+{
+    std::uint32_t idx = 0;
+    while (idx < regionNames_.size() && regionNames_[idx] != region)
+        ++idx;
+    if (idx == regionNames_.size())
+        regionNames_.push_back(region);
+    Instr in;
+    in.op = Opcode::MARKER;
+    in.imm = std::int32_t(idx);
+    return push(in);
+}
+
 Program
 KernelBuilder::build(unsigned num_regs)
 {
@@ -424,6 +438,7 @@ KernelBuilder::build(unsigned num_regs)
             labels[labelName_[i]] = labelPc_[i];
     }
     prog.setLabels(std::move(labels));
+    prog.setRegions(regionNames_);
     prog.validate();
     return prog;
 }

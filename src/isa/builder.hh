@@ -111,6 +111,15 @@ class KernelBuilder
     Instr &exit();
     Instr &nop();
 
+    // ---- observability ----
+
+    /**
+     * Region marker pseudo-op: executing it retags the warp's current
+     * metrics region to @p region (interned into the program's region
+     * table; "_entry" is the implicit region before the first marker).
+     */
+    Instr &marker(const std::string &region);
+
     /**
      * Finish: resolve labels, validate, and produce the Program.
      * @p num_regs is the per-thread register demand used for occupancy.
@@ -127,6 +136,8 @@ class KernelBuilder
     std::vector<std::string> labelName_;
     /** pc -> label id, for instructions awaiting resolution. */
     std::vector<std::pair<std::uint32_t, std::uint32_t>> fixups_;
+    /** Region table for marker(); index 0 is the implicit "_entry". */
+    std::vector<std::string> regionNames_{"_entry"};
 };
 
 } // namespace si

@@ -34,6 +34,7 @@ opClassOf(Opcode op)
       case Opcode::BSYNC:
       case Opcode::YIELD:
       case Opcode::EXIT:
+      case Opcode::MARKER:
         return OpClass::Control;
       default:
         return OpClass::Alu;
@@ -112,6 +113,7 @@ opcodeName(Opcode op)
       case Opcode::BSYNC: return "BSYNC";
       case Opcode::YIELD: return "YIELD";
       case Opcode::EXIT: return "EXIT";
+      case Opcode::MARKER: return "MARKER";
       default: return "???";
     }
 }
@@ -252,6 +254,10 @@ Instr::disasm() const
         break;
       case Opcode::BSYNC:
         out += " B" + std::to_string(unsigned(bar));
+        break;
+      case Opcode::MARKER:
+        // The raw table index; sourceText() renders the region name.
+        out += " " + std::to_string(imm);
         break;
       default:
         out += " " + regName(dst) + ", " + regName(srcA) + ", " + b_str();

@@ -70,6 +70,11 @@ enum class Opcode : std::uint8_t {
     YIELD,   ///< subwarp-yield scheduling hint (NOP on baseline)
     EXIT,    ///< thread terminates
 
+    // Observability.
+    MARKER,  ///< region marker pseudo-op: imm indexes the program's
+             ///< region-name table; executing it retags the warp's
+             ///< current region for metrics attribution (NOP timing)
+
     NumOpcodes
 };
 
@@ -94,7 +99,7 @@ enum class OpClass : std::uint8_t {
     Store,          ///< STG
     Texture,        ///< TEX/TLD (variable latency, TEX port)
     RtQuery,        ///< RTQUERY (variable latency, RT unit)
-    Control,        ///< BRA/BSSY/BSYNC/YIELD/EXIT/NOP
+    Control,        ///< BRA/BSSY/BSYNC/YIELD/EXIT/NOP/MARKER
 };
 
 /** Timing class of @p op. */

@@ -26,6 +26,25 @@ Program::setSourceLines(std::vector<std::uint32_t> lines)
     srcLines_ = std::move(lines);
 }
 
+std::uint32_t
+Program::addRegion(const std::string &name)
+{
+    for (std::uint32_t i = 0; i < regionNames_.size(); ++i) {
+        if (regionNames_[i] == name)
+            return i;
+    }
+    regionNames_.push_back(name);
+    return std::uint32_t(regionNames_.size() - 1);
+}
+
+void
+Program::setRegions(std::vector<std::string> names)
+{
+    sim_throw_if(names.empty() || names[0] != "_entry", ErrorKind::Parse,
+                 "region table must start with the implicit \"_entry\"");
+    regionNames_ = std::move(names);
+}
+
 std::string
 Program::check() const
 {
@@ -49,6 +68,11 @@ Program::check() const
         if ((in.op == Opcode::BSSY || in.op == Opcode::BSYNC) &&
             in.bar >= 16) {
             return "pc " + std::to_string(pc) + ": barrier index invalid";
+        }
+        if (in.op == Opcode::MARKER &&
+            (in.imm < 0 || std::size_t(in.imm) >= regionNames_.size())) {
+            return "pc " + std::to_string(pc) +
+                   ": MARKER region index out of range";
         }
 
         auto check_reg = [&](RegIndex r) {
@@ -165,7 +189,8 @@ srcAnnotations(const Instr &in)
 }
 
 std::string
-srcLine(const Instr &in, std::uint32_t pc)
+srcLine(const Instr &in, std::uint32_t pc,
+        const std::vector<std::string> &regions)
 {
     std::string out;
     if (in.guard != predNone) {
@@ -255,6 +280,13 @@ srcLine(const Instr &in, std::uint32_t pc)
       case Opcode::BSYNC:
         out += " B" + std::to_string(unsigned(in.bar));
         break;
+      case Opcode::MARKER:
+        // By name: the assembler re-interns in first-occurrence order,
+        // which is exactly how every in-tree producer builds the table.
+        out += " " + (std::size_t(in.imm) < regions.size()
+                          ? regions[std::size_t(in.imm)]
+                          : std::to_string(in.imm));
+        break;
       default:
         out += " " + srcReg(in.dst) + ", " + srcReg(in.srcA) + ", " +
                srcBOperand(in, float_imm);
@@ -280,7 +312,7 @@ Program::sourceText() const
     for (std::uint32_t pc = 0; pc < instrs_.size(); ++pc) {
         if (targets.count(pc))
             out += "L" + std::to_string(pc) + ":\n";
-        out += "    " + srcLine(instrs_[pc], pc) + "\n";
+        out += "    " + srcLine(instrs_[pc], pc, regionNames_) + "\n";
     }
     return out;
 }
@@ -292,6 +324,7 @@ Program::withoutInstr(std::uint32_t pc) const
     out.name_ = name_;
     out.numRegs_ = numRegs_;
     out.baseAddr_ = baseAddr_;
+    out.regionNames_ = regionNames_;
     out.instrs_.reserve(instrs_.empty() ? 0 : instrs_.size() - 1);
     for (std::uint32_t i = 0; i < instrs_.size(); ++i) {
         if (i == pc)

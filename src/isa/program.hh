@@ -70,6 +70,24 @@ class Program
     }
 
     /**
+     * Region-name table for MARKER attribution. Index 0 is always
+     * "_entry", the implicit region every warp starts in; MARKER's imm
+     * is a direct index into this table. addRegion() interns by name
+     * (the table keeps first-occurrence order, so sourceText() round-
+     * trips indices exactly).
+     */
+    const std::vector<std::string> &regionNames() const
+    {
+        return regionNames_;
+    }
+
+    /** Intern @p name; returns its (existing or new) table index. */
+    std::uint32_t addRegion(const std::string &name);
+
+    /** Replace the whole table; index 0 must be "_entry". */
+    void setRegions(std::vector<std::string> names);
+
+    /**
      * Structural validation: branch targets in range, register indices
      * within numRegs, BSSY/BSYNC barrier indices valid, terminating EXIT
      * reachable. Throws SimError(ErrorKind::Parse) on violation, which
@@ -106,6 +124,7 @@ class Program
     Addr baseAddr_ = 0x10000000;
     std::map<std::string, std::uint32_t> labels_;
     std::vector<std::uint32_t> srcLines_;
+    std::vector<std::string> regionNames_{"_entry"};
 };
 
 } // namespace si

@@ -50,6 +50,7 @@ buildMegakernel(const MegakernelConfig &config,
 
     // ---- path-trace loop ----
     kb.bind(loop_top);
+    kb.marker("convergent");
 
     // Convergent ray cast: the RT core traverses the BVH while the SM
     // keeps executing the convergent section below (Section II-B).
@@ -79,6 +80,7 @@ buildMegakernel(const MegakernelConfig &config,
     std::function<void(unsigned, unsigned)> dispatch =
         [&](unsigned lo, unsigned hi) {
             if (lo == hi) {
+                kb.marker("hit" + std::to_string(lo));
                 emitHitShaderBody(kb, config, lo, rng);
                 kb.bra(join);
                 return;
@@ -95,11 +97,13 @@ buildMegakernel(const MegakernelConfig &config,
 
     // ---- miss shader: sky contribution, path ends ----
     kb.bind(miss);
+    kb.marker("miss");
     emitMissShaderBody(kb, config);
     kb.bra(join);
 
     // ---- reconvergence + loop control ----
     kb.bind(join);
+    kb.marker("convergent");
     kb.bsync(0);
     kb.iaddi(rBounce, rBounce, -1);
     kb.isetpi(pLoop, CmpOp::GT, rBounce, 0);

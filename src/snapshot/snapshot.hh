@@ -76,6 +76,7 @@ enum class SnapTag : std::uint32_t {
     SubwarpUnit = 0x55577353u, ///< "SsWU"
     Pb = 0x20425020u,        ///< " PB "
     Stats = 0x54415453u,     ///< "STAT"
+    Metrics = 0x4b52544du,   ///< "MTRK": windowed metrics sampler state
     End = 0x20444e45u,       ///< "END "
 };
 

@@ -73,7 +73,8 @@ struct Residency
 } // namespace
 
 std::string
-chromeTraceJson(const std::vector<TraceEvent> &events, const Program *prog)
+chromeTraceJson(const std::vector<TraceEvent> &events, const Program *prog,
+                const std::vector<CounterSample> &counters)
 {
     json::Writer w;
     w.beginObject();
@@ -207,6 +208,22 @@ chromeTraceJson(const std::vector<TraceEvent> &events, const Program *prog)
             // swamp the timeline.
             break;
         }
+    }
+
+    // Counter tracks (ph:"C"): one event per sample; multi-series
+    // samples render stacked. Names and series keys pass through the
+    // writer, so hostile kernel or region names stay valid JSON.
+    for (const CounterSample &cs : counters) {
+        w.beginObject();
+        w.key("ph").value("C");
+        w.key("ts").value(std::uint64_t(cs.cycle));
+        w.key("pid").value(cs.pid);
+        w.key("name").value(cs.name);
+        w.key("args").beginObject();
+        for (const auto &[series, v] : cs.values)
+            w.key(series).value(v);
+        w.endObject();
+        w.endObject();
     }
 
     w.endArray();

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Validate the simulator's machine-readable JSON documents: si-bench-v1
 (bench binaries, --json), si-campaign-v1 (campaign manifests,
-swsim --campaign-state), and si-lint-v1 (silint --json).
+swsim --campaign-state), si-lint-v1 (silint --json), si-metrics-v1
+(swsim --metrics-out), and si-profdiff-v1 (swprof --diff --json).
 
 Usage: check_bench_json.py SCHEMA.json DOC.json [DOC.json ...]
 
@@ -10,9 +11,12 @@ checked-in schemas use (type, const, enum, required, properties,
 additionalProperties, items, minItems), plus structural rules the schema
 language cannot express: every si-bench-v1 table row must have exactly
 as many cells as the table has columns, an si-campaign-v1 header's
-done/failed counts must match its cells array, and an si-lint-v1
+done/failed counts must match its cells array, an si-lint-v1
 document's per-file and total severity counts must match its
-diagnostics arrays.
+diagnostics arrays, every si-metrics-v1 window must satisfy the
+warp-cycle partition identity (with region entries summing to the
+window's SM-wide counters), and an si-profdiff-v1 document must have a
+zero residual with delta == test - base throughout.
 
 Exit status: 0 if every file validates, 1 otherwise.
 """
@@ -148,6 +152,130 @@ def check_lint(doc, errors):
                 )
 
 
+def check_metrics(doc, errors):
+    """si-metrics-v1 rules: per window, live_warp_cycles must equal
+    instrs_issued + arb_loss_cycles + sum(stall_cycles) (the simulator's
+    warp-cycle partition identity), the region entries must sum
+    field-wise to the window's SM-wide counters, window spans must be
+    contiguous per SM, and the header's dropped_total must match the
+    per-SM dropped counts."""
+    if not isinstance(doc, dict) or doc.get("schema") != "si-metrics-v1":
+        return
+    dropped_sum = 0
+    for s, sm in enumerate(doc.get("sms", [])):
+        if not isinstance(sm, dict):
+            continue
+        dropped_sum += sm.get("dropped", 0)
+        prev_end = None
+        for w, win in enumerate(sm.get("windows", [])):
+            if not isinstance(win, dict):
+                continue
+            where = "$.sms[%d].windows[%d]" % (s, w)
+            if prev_end is not None and win.get("start") != prev_end:
+                errors.append(
+                    "%s.start: %r but the previous window ended at %r"
+                    % (where, win.get("start"), prev_end)
+                )
+            prev_end = win.get("end")
+            stalls = win.get("stall_cycles", {})
+            accounted = (
+                win.get("instrs_issued", 0)
+                + win.get("arb_loss_cycles", 0)
+                + sum(stalls.values())
+            )
+            if win.get("live_warp_cycles") != accounted:
+                errors.append(
+                    "%s: live_warp_cycles %r != issued+arb+stalls %d"
+                    % (where, win.get("live_warp_cycles"), accounted)
+                )
+            sums = {"warp_cycles": 0, "instrs_issued": 0,
+                    "arb_loss_cycles": 0}
+            stall_sums = {}
+            for region in win.get("regions", []):
+                if not isinstance(region, dict):
+                    continue
+                for key in sums:
+                    sums[key] += region.get(key, 0)
+                for reason, n in region.get("stall_cycles", {}).items():
+                    stall_sums[reason] = stall_sums.get(reason, 0) + n
+            if sums["warp_cycles"] != win.get("live_warp_cycles"):
+                errors.append(
+                    "%s: regions sum to %d warp_cycles but the window "
+                    "has live_warp_cycles %r"
+                    % (where, sums["warp_cycles"],
+                       win.get("live_warp_cycles"))
+                )
+            if sums["instrs_issued"] != win.get("instrs_issued"):
+                errors.append(
+                    "%s: regions sum to %d instrs_issued but the window "
+                    "has %r" % (where, sums["instrs_issued"],
+                                win.get("instrs_issued"))
+                )
+            if sums["arb_loss_cycles"] != win.get("arb_loss_cycles"):
+                errors.append(
+                    "%s: regions sum to %d arb_loss_cycles but the "
+                    "window has %r" % (where, sums["arb_loss_cycles"],
+                                       win.get("arb_loss_cycles"))
+                )
+            for reason, n in stalls.items():
+                if stall_sums.get(reason, 0) != n:
+                    errors.append(
+                        "%s.stall_cycles.%s: %r but the regions sum "
+                        "to %d" % (where, reason, n,
+                                   stall_sums.get(reason, 0))
+                    )
+    if doc.get("dropped_total") != dropped_sum:
+        errors.append(
+            "$.dropped_total: header says %r but the SMs sum to %d"
+            % (doc.get("dropped_total"), dropped_sum)
+        )
+
+
+def check_profdiff(doc, errors):
+    """si-profdiff-v1 rules: residual must be 0 (the diff reconciles
+    exactly by the warp-cycle partition identity), every delta field
+    must equal test minus base, and the region warp-cycle deltas must
+    sum to delta.live_warp_cycles."""
+    if not isinstance(doc, dict) or doc.get("schema") != "si-profdiff-v1":
+        return
+    if doc.get("residual") != 0:
+        errors.append(
+            "$.residual: %r, but an exact decomposition requires 0"
+            % doc.get("residual")
+        )
+    base = doc.get("base", {})
+    test = doc.get("test", {})
+    delta = doc.get("delta", {})
+    for key in ("cycles", "live_warp_cycles", "instrs_issued",
+                "arb_loss_cycles"):
+        want = test.get(key, 0) - base.get(key, 0)
+        if delta.get(key) != want:
+            errors.append(
+                "$.delta.%s: %r but test - base is %d"
+                % (key, delta.get(key), want)
+            )
+    base_stalls = base.get("stall_cycles", {})
+    test_stalls = test.get("stall_cycles", {})
+    for reason, n in delta.get("stall_cycles", {}).items():
+        want = test_stalls.get(reason, 0) - base_stalls.get(reason, 0)
+        if n != want:
+            errors.append(
+                "$.delta.stall_cycles.%s: %r but test - base is %d"
+                % (reason, n, want)
+            )
+    region_sum = sum(
+        r.get("warp_cycles", 0)
+        for r in doc.get("regions", [])
+        if isinstance(r, dict)
+    )
+    if region_sum != delta.get("live_warp_cycles"):
+        errors.append(
+            "$.regions: warp_cycles deltas sum to %d but "
+            "delta.live_warp_cycles is %r"
+            % (region_sum, delta.get("live_warp_cycles"))
+        )
+
+
 def main(argv):
     if len(argv) < 3:
         sys.stderr.write(
@@ -170,6 +298,8 @@ def main(argv):
             check_tables(doc, errors)
             check_campaign(doc, errors)
             check_lint(doc, errors)
+            check_metrics(doc, errors)
+            check_profdiff(doc, errors)
         if errors:
             failed = True
             for err in errors:

@@ -33,9 +33,22 @@
  *   --trace-bin FILE   compact binary dump of the recorded timeline
  *   --ring N           ring-buffer capacity in events (default 1Mi)
  *
+ * Diff mode:
+ *   swprof --diff BASE.json TEST.json [--json FILE]
+ *
+ * Loads two exported documents (si-stats-v1 from --stats-json, or
+ * si-metrics-v1 from swsim --metrics-out) of the same workload run
+ * under two configurations — canonically SI off vs SI on — aligns
+ * their kernel regions by name, and prints a per-region CPI-stack
+ * difference: how each region's warp-cycles moved, decomposed into
+ * issued / arbitration-loss / per-stall-reason contributions. The
+ * decomposition is exact (zero residual) by the simulator's warp-cycle
+ * partition identity. --json writes the same diff as si-profdiff-v1.
+ *
  * Exit status: 0 on success, 1 on bad usage, assembly error, or a
  * failed run (the report and trace are still written on failure — a
- * livelock report comes with its timeline).
+ * livelock report comes with its timeline). Diff mode exits 1 on
+ * unreadable inputs or a nonzero residual.
  */
 
 #include <cstdio>
@@ -49,6 +62,7 @@
 #include "harness/runner.hh"
 #include "isa/assembler.hh"
 #include "isa/stall_hints.hh"
+#include "metrics/profdiff.hh"
 #include "trace/chrome_trace.hh"
 #include "trace/profiler.hh"
 #include "trace/sinks.hh"
@@ -67,7 +81,8 @@ usage()
                  "[--top N]\n"
                  "              [--json FILE] [--stats-json FILE] "
                  "[--trace FILE]\n"
-                 "              [--trace-bin FILE] [--ring N]\n");
+                 "              [--trace-bin FILE] [--ring N]\n"
+                 "       swprof --diff BASE.json TEST.json [--json FILE]\n");
 }
 
 bool
@@ -97,6 +112,67 @@ parseUnsigned(const char *s, unsigned &out)
     return true;
 }
 
+/** swprof --diff BASE.json TEST.json [--json FILE] */
+int
+diffMain(int argc, char **argv)
+{
+    std::string json_path;
+    std::vector<std::string> files;
+    for (int i = 2; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--json") {
+            if (i + 1 >= argc) {
+                usage();
+                return 1;
+            }
+            json_path = argv[++i];
+        } else if (!a.empty() && a[0] == '-' && a != "-") {
+            std::fprintf(stderr, "swprof: unknown diff option '%s'\n",
+                         a.c_str());
+            usage();
+            return 1;
+        } else {
+            files.push_back(a);
+        }
+    }
+    if (files.size() != 2) {
+        usage();
+        return 1;
+    }
+
+    si::ProfSide sides[2];
+    for (int s = 0; s < 2; ++s) {
+        std::ifstream in(files[std::size_t(s)]);
+        if (!in) {
+            std::fprintf(stderr, "swprof: cannot open '%s'\n",
+                         files[std::size_t(s)].c_str());
+            return 1;
+        }
+        std::stringstream text;
+        text << in.rdbuf();
+        std::string error;
+        if (!si::loadProfInput(text.str(), files[std::size_t(s)],
+                               sides[s], error)) {
+            std::fprintf(stderr, "swprof: %s\n", error.c_str());
+            return 1;
+        }
+    }
+
+    const si::ProfDiff diff = si::diffProf(sides[0], sides[1]);
+    std::printf("%s", si::profDiffReport(diff).c_str());
+    if (!json_path.empty() &&
+        !writeFile(json_path, si::profDiffJson(diff)))
+        return 1;
+    if (diff.residual != 0) {
+        std::fprintf(stderr,
+                     "swprof: nonzero residual %lld — the inputs do not "
+                     "reconcile with the warp-cycle partition\n",
+                     static_cast<long long>(diff.residual));
+        return 1;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -107,6 +183,8 @@ main(int argc, char **argv)
         usage();
         return 1;
     }
+    if (std::strcmp(argv[1], "--diff") == 0)
+        return diffMain(argc, argv);
 
     const std::string path = argv[1];
     si::GpuConfig cfg;
@@ -269,8 +347,11 @@ main(int argc, char **argv)
     }
     if (!json_path.empty())
         writeFile(json_path, prof.reportJson(&prog));
-    if (!stats_json_path.empty())
-        writeFile(stats_json_path, si::statsJson(r, prog.name()));
+    if (!stats_json_path.empty()) {
+        si::StatsJsonOptions opts;
+        opts.regionNames = prog.regionNames();
+        writeFile(stats_json_path, si::statsJson(r, prog.name(), opts));
+    }
 
     if (!r.ok()) {
         std::fprintf(stderr, "swprof: run failed [%s]: %s\n",

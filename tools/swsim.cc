@@ -29,6 +29,13 @@
  *   --stats            dump full statistics
  *   --stats-json FILE  write machine-readable statistics (si-stats-v1);
  *                      FILE = - writes to stdout
+ *   --metrics-out FILE write windowed time-series metrics
+ *                      (si-metrics-v1); FILE = - writes to stdout
+ *   --metrics-csv FILE write the same series as CSV
+ *   --metrics-interval N  cycles per metrics window (default 0: one
+ *                      window spanning the whole run)
+ *   --metrics-ring N   windows retained per SM (default 4096); older
+ *                      windows are dropped (and counted) beyond this
  *   --checkpoint-every N  write a sisnap-v1 checkpoint every N cycles
  *   --checkpoint FILE  checkpoint path (default KERNEL.sasm.ckpt)
  *   --resume FILE      restore a checkpoint and continue the run; the
@@ -78,6 +85,7 @@
 #include "harness/runner.hh"
 #include "isa/assembler.hh"
 #include "isa/stall_hints.hh"
+#include "metrics/sampler.hh"
 #include "race/detector.hh"
 #include "snapshot/snapshot.hh"
 #include "trace/chrome_trace.hh"
@@ -95,8 +103,11 @@ usage()
                  "[--sms N] [--slots N]\n"
                  "             [--mshrs N] [--hints] [--sched gto|lrr] "
                  "[--race] [--stats]\n"
-                 "             [--stats-json FILE] [--trace] "
-                 "[--trace-out FILE]\n"
+                 "             [--stats-json FILE] [--metrics-out FILE] "
+                 "[--metrics-csv FILE]\n"
+                 "             [--metrics-interval N] [--metrics-ring N] "
+                 "[--trace]\n"
+                 "             [--trace-out FILE]\n"
                  "             [--trace-ring N] [--disasm] [--compare]\n"
                  "             [--checkpoint-every N] [--checkpoint FILE]"
                  " [--resume FILE]\n"
@@ -177,6 +188,9 @@ main(int argc, char **argv)
     bool inject = false;
     bool race = false;
     std::string stats_json_path, trace_out_path;
+    std::string metrics_out_path, metrics_csv_path;
+    unsigned metrics_interval = 0;
+    unsigned metrics_ring = 4096;
     si::FaultKind fault_kind = si::FaultKind::ScoreboardCorruption;
     unsigned checkpoint_every = 0;
     std::string checkpoint_path, resume_path;
@@ -320,6 +334,22 @@ main(int argc, char **argv)
                 return 1;
             }
             stats_json_path = argv[++i];
+        } else if (a == "--metrics-out") {
+            if (i + 1 >= argc) {
+                usage();
+                return 1;
+            }
+            metrics_out_path = argv[++i];
+        } else if (a == "--metrics-csv") {
+            if (i + 1 >= argc) {
+                usage();
+                return 1;
+            }
+            metrics_csv_path = argv[++i];
+        } else if (a == "--metrics-interval") {
+            next_uint(metrics_interval);
+        } else if (a == "--metrics-ring") {
+            next_uint(metrics_ring);
         } else if (a == "--trace") {
             trace = true;
         } else if (a == "--trace-out") {
@@ -371,6 +401,22 @@ main(int argc, char **argv)
     cfg.yieldEnabled = yield;
     cfg.maxOutstandingMisses = mshrs;
 
+    // Windowed metrics: a read-only observer on the clock loop.
+    const bool metrics =
+        !metrics_out_path.empty() || !metrics_csv_path.empty();
+    si::MetricsSampler sampler(metrics_interval, metrics_ring);
+    if (metrics) {
+        if (inject || !campaign_dir.empty()) {
+            // Both modes run (or re-run) the kernel under several
+            // configs/children; one shared sampler would mix them.
+            std::fprintf(stderr, "swsim: --metrics-out/--metrics-csv "
+                                 "are exclusive with --inject and "
+                                 "campaign mode\n");
+            return 1;
+        }
+        cfg.metricsSampler = &sampler;
+    }
+
     si::RaceDetector race_det;
     if (race) {
         if (inject || !campaign_dir.empty()) {
@@ -397,17 +443,36 @@ main(int argc, char **argv)
     else if (record)
         cfg.traceSink = &ring;
 
+#if !SI_TRACE_ENABLED
+    if (record || trace)
+        std::fprintf(stderr,
+                     "swsim: built with SI_TRACE=OFF — stall, cache, and "
+                     "subwarp events are compiled out;\n"
+                     "swsim: the trace will only contain issue/retire "
+                     "events. Rebuild with -DSI_TRACE=ON.\n");
+#endif
+
     auto write_trace = [&]() {
         if (!record)
             return;
+        // Metrics counter tracks ride along in the same timeline.
         if (writeFile(trace_out_path,
-                      si::chromeTraceJson(ring.snapshot(), &prog))) {
+                      si::chromeTraceJson(
+                          ring.snapshot(), &prog,
+                          metrics ? si::metricsCounterSamples(sampler)
+                                  : std::vector<si::CounterSample>{}))) {
             std::fprintf(
                 stderr, "trace: %s (%llu events, %llu dropped)\n",
                 trace_out_path.c_str(),
                 static_cast<unsigned long long>(ring.snapshot().size()),
                 static_cast<unsigned long long>(ring.dropped()));
         }
+        if (ring.dropped() > 0)
+            std::fprintf(stderr,
+                         "swsim: warning: trace ring dropped %llu "
+                         "events; the timeline is incomplete (raise "
+                         "--trace-ring)\n",
+                         static_cast<unsigned long long>(ring.dropped()));
     };
 
     if (inject) {
@@ -580,8 +645,31 @@ main(int argc, char **argv)
         r = si::simulate(cfg, mem, prog, {warps, 4});
     }
     write_trace();
-    if (!stats_json_path.empty())
-        writeFile(stats_json_path, si::statsJson(r, prog.name()));
+    if (!stats_json_path.empty()) {
+        si::StatsJsonOptions opts;
+        opts.regionNames = prog.regionNames();
+        if (record) {
+            opts.includeTrace = true;
+            opts.traceRecorded = ring.snapshot().size();
+            opts.traceDropped = ring.dropped();
+        }
+        writeFile(stats_json_path, si::statsJson(r, prog.name(), opts));
+    }
+    if (metrics) {
+        if (!metrics_out_path.empty())
+            writeFile(metrics_out_path,
+                      si::metricsJson(sampler, prog.name(),
+                                      prog.regionNames()));
+        if (!metrics_csv_path.empty())
+            writeFile(metrics_csv_path, si::metricsCsv(sampler));
+        if (sampler.droppedTotal() > 0)
+            std::fprintf(stderr,
+                         "swsim: warning: metrics ring dropped %llu "
+                         "windows; the series is incomplete (raise "
+                         "--metrics-ring or --metrics-interval)\n",
+                         static_cast<unsigned long long>(
+                             sampler.droppedTotal()));
+    }
     if (!r.ok()) {
         std::fprintf(stderr, "swsim: run failed [%s]: %s\n",
                      si::errorKindName(r.status.kind),
