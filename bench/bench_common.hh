@@ -62,10 +62,16 @@ class BenchJson
             } else if (metrics_capable && a == "--metrics-out" &&
                        i + 1 < argc) {
                 metrics_out_ = argv[++i];
+            } else if (a == "--fast-forward" ||
+                       a == "--fast-forward=on") {
+                fast_forward_ = true;
+            } else if (a == "--fast-forward=off") {
+                fast_forward_ = false;
             } else {
                 std::fprintf(stderr,
                              "%s: unknown option '%s' "
-                             "(supported: --json FILE, --jobs N%s%s)\n",
+                             "(supported: --json FILE, --jobs N, "
+                             "--fast-forward[=off]%s%s)\n",
                              bench_.c_str(), a.c_str(),
                              campaign_capable
                                  ? ", --campaign-state DIR, "
@@ -93,6 +99,14 @@ class BenchJson
 
     /** Prefix for per-config si-stats-v1 exports ("" = none). */
     const std::string &metricsOut() const { return metrics_out_; }
+
+    /**
+     * Event-driven fast-forward (--fast-forward[=off], default on).
+     * Bit-identical tables/metrics either way; the off switch exists so
+     * CI can time the faithful core and cross-validate that contract.
+     * Benches apply it via `cfg.fastForward = bj.fastForward()`.
+     */
+    bool fastForward() const { return fast_forward_; }
 
     /** Record a printed table (serialized immediately). */
     void table(const TablePrinter &t) { tables_.push_back(t.json()); }
@@ -145,6 +159,7 @@ class BenchJson
     std::string campaign_dir_;
     bool campaign_resume_ = false;
     std::string metrics_out_;
+    bool fast_forward_ = true;
     std::vector<std::string> tables_; ///< pre-serialized JSON objects
     std::vector<std::pair<std::string, double>> metrics_;
 };

@@ -30,8 +30,9 @@ main(int argc, char **argv)
     for (si::Cycle lat : {300u, 600u, 900u}) {
         std::fprintf(stderr, "[latency %llu]\n",
                      static_cast<unsigned long long>(lat));
-        const auto sweeps =
-            si::bench::sweepAllApps(si::baselineConfig(lat), bj.jobs());
+        si::GpuConfig base = si::baselineConfig(lat);
+        base.fastForward = bj.fastForward();
+        const auto sweeps = si::bench::sweepAllApps(base, bj.jobs());
         for (std::size_t c = 0; c < points.size(); ++c) {
             std::vector<double> per_app;
             for (const auto &s : sweeps)

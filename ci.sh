@@ -13,7 +13,12 @@
 # si-bench-v1 schema, and a swprof trace + stall-report export. It also
 # runs the campaign soak: a short sweep under fault injection with a
 # forced mid-campaign restart, whose resumable si-campaign-v1 manifest
-# is validated against tools/campaign_schema.json.
+# is validated against tools/campaign_schema.json. The Release pass
+# also cross-validates the event-driven fast-forward execution core:
+# the 256-seed sweep, the memlat stats/metrics exports, and the fig13
+# tables must be byte-identical with cycle leaping forced on and off,
+# and the perf gate's BM_FastForwardSweep pair feeds a soft-fail >=2x
+# speedup report.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -202,6 +207,75 @@ run_tsan() {
     "$dir/tools/difftest" --seeds 64 --jobs 4
 }
 
+# Fast-forward equivalence gate: the event-driven cycle-leap engine
+# must be invisible everywhere except wall-clock. Three sub-gates:
+# the 256-seed differential + determinism sweep byte-compared between
+# forced-on and forced-off (stdout and exit status both), the memlat
+# high-latency cell's si-stats-v1/si-metrics-v1 exports byte-compared
+# between modes, and the fig13 latency-sweep tables byte-compared
+# between modes.
+check_fastforward() {
+    local dir=$1
+    local art="$dir/artifacts"
+    mkdir -p "$art"
+    echo "=== fast-forward equivalence $dir (256-seed sweep, on vs off)"
+    "$dir/tools/difftest" --seeds 256 --snapshot --jobs 0 \
+        > "$art/difftest_ff_on.txt"
+    "$dir/tools/difftest" --seeds 256 --snapshot --jobs 0 \
+        --fast-forward=off > "$art/difftest_ff_off.txt"
+    diff -u "$art/difftest_ff_on.txt" "$art/difftest_ff_off.txt"
+    echo "=== fast-forward artifacts $dir (stats/metrics byte-identity)"
+    local mode
+    for mode in on off; do
+        "$dir/tools/swsim" kernels/memlat.sasm --lat 2000 --warps 8 \
+            --fast-forward=$mode \
+            --stats-json "$art/memlat_stats_$mode.json" \
+            --metrics-out "$art/memlat_metrics_$mode.json" \
+            --metrics-interval 256 > /dev/null
+    done
+    cmp "$art/memlat_stats_on.json" "$art/memlat_stats_off.json"
+    cmp "$art/memlat_metrics_on.json" "$art/memlat_metrics_off.json"
+    echo "=== fast-forward fig13 $dir (golden tables, on vs off)"
+    "$dir/bench/fig13_latency_sweep" --jobs 0 \
+        > "$art/fig13_ff_on.txt" 2> /dev/null
+    "$dir/bench/fig13_latency_sweep" --jobs 0 --fast-forward=off \
+        > "$art/fig13_ff_off.txt" 2> /dev/null
+    cmp "$art/fig13_ff_on.txt" "$art/fig13_ff_off.txt"
+}
+
+# Fast-forward speedup report (soft-fail): the perf-gate run already
+# timed BM_FastForwardSweep in both modes; require the event-driven
+# core to clear 2x the faithful core's sim_cycles/s on the
+# memory-latency-dominated cell. A miss prints a loud warning instead
+# of failing CI — wall-clock ratios on shared runners are advisory,
+# unlike the byte-identity gates above.
+check_fastforward_speedup() {
+    local dir=$1
+    local art="$dir/artifacts"
+    if ! command -v python3 >/dev/null 2>&1; then
+        echo "=== python3 not installed; skipping the speedup report"
+        return 0
+    fi
+    echo "=== fast-forward speedup $dir (>=2x report, soft-fail)"
+    python3 - "$art/BENCH_simulator.json" <<'EOF' ||
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+rates = {}
+for b in doc.get("benchmarks", []):
+    name = b.get("name", "")
+    if name.startswith("BM_FastForwardSweep/"):
+        rates[name.rsplit("/", 1)[1]] = float(b.get("sim_cycles/s", 0))
+on, off = rates.get("1", 0.0), rates.get("0", 0.0)
+ratio = on / off if off else 0.0
+print("fast-forward speedup: %.1fx (on %.3g, off %.3g sim_cycles/s)"
+      % (ratio, on, off))
+sys.exit(0 if ratio >= 2.0 else 1)
+EOF
+        echo "ci.sh: WARNING: fast-forward speedup below 2x (soft-fail)"
+}
+
 # Perf-regression gate: benchmark the simulator (including the serial
 # vs all-cores parallel-sweep probe) and compare sim_cycles/s against
 # the checked-in baseline. Regressions beyond the threshold fail CI;
@@ -227,7 +301,9 @@ run build-release -DCMAKE_BUILD_TYPE=Release
 check_race build-release
 check_exports build-release
 check_campaign_soak build-release
+check_fastforward build-release
 check_perf build-release
+check_fastforward_speedup build-release
 run build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSI_SANITIZE=address,undefined
 run_tsan build-tsan
 run build-notrace -DCMAKE_BUILD_TYPE=Release -DSI_TRACE=OFF

@@ -47,6 +47,17 @@ class CycleSampler
     /** Called once after the run loop ends; flushes the open window. */
     virtual void finish(const Gpu &gpu, Cycle now) = 0;
 
+    /**
+     * Latest cycle the fast-forward engine may leap to without this
+     * sampler observing an intermediate boundary (see DESIGN.md, the
+     * event-horizon contract). A sampler that needs onCycle() at every
+     * window edge returns the next edge at or after @p now; returning
+     * @p now pins the horizon and disables leaping entirely — the safe
+     * default for samplers the core knows nothing about. Returning
+     * invalidCycle imposes no constraint.
+     */
+    virtual Cycle horizonPin(Cycle now) const { return now; }
+
     /** Serialize sampler state into a checkpoint. */
     virtual void save(SnapshotWriter &w) const = 0;
 
@@ -181,6 +192,23 @@ struct GpuConfig
      * no TST budget. Use harness withDws() to build a DWS config.
      */
     bool dwsEnabled = false;
+
+    /**
+     * Event-driven fast-forward ("cycle leap"): when a tick ends with
+     * no issuable warp and no state-changing work pending before a
+     * known future cycle, advance the clock to the next-event horizon
+     * in one step, bulk-applying the per-cycle accounting as exact
+     * multiples. Every stat, metrics window, snapshot, and golden
+     * table is bit-identical to the per-cycle run, so this is a pure
+     * wall-clock optimization and is on by default. Automatically
+     * pinned back to per-cycle ("faithful") execution when an observer
+     * that needs every cycle is attached: a fault-injection hook, the
+     * race sanitizer, or (in SI_TRACE builds) a trace sink consuming
+     * the per-cycle event tier. Excluded from configFingerprint —
+     * timing-neutral by construction, so snapshots transfer across
+     * modes.
+     */
+    bool fastForward = true;
 
     // ---- scheduling policies ----
     SchedPolicy sched = SchedPolicy::GTO;

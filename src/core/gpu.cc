@@ -12,6 +12,13 @@ namespace si {
 
 namespace {
 
+/** Smallest multiple of @p step at or after @p now (step != 0). */
+Cycle
+nextBoundary(Cycle now, std::uint64_t step)
+{
+    return (now + step - 1) / step * step;
+}
+
 void
 hashCacheConfig(Fnv1a &h, const CacheConfig &c)
 {
@@ -113,6 +120,8 @@ Gpu::launchKernels(const std::vector<KernelLaunch> &kernels)
     now_ = 0;
     lastIssued_ = 0;
     lastProgress_ = 0;
+    ffLeaps_ = 0;
+    ffSkipped_ = 0;
 
     // Interleave warps across kernels so co-scheduled queues contend
     // for slots from the start, then round-robin across SMs.
@@ -141,6 +150,10 @@ Gpu::runLoop(GpuResult &result)
     // queued. The counters are members so a checkpoint freezes them
     // with the rest of the machine and a resumed run re-enters this
     // loop exactly where the checkpoint left it.
+    //
+    // Eligibility for the cycle-leap engine is a property of the run
+    // (knob + installed observers), not of any cycle: compute it once.
+    const bool ff_eligible = fastForwardEligible();
     while (true) {
         bool all_done = true;
         for (auto &sm : sms_) {
@@ -204,8 +217,22 @@ Gpu::runLoop(GpuResult &result)
         if (issued != lastIssued_ || events_pending) {
             lastIssued_ = issued;
             lastProgress_ = now_;
-        } else if (config_.livelockCycles &&
-                   now_ - lastProgress_ >= config_.livelockCycles) {
+        }
+
+        // Event-driven fast-forward: when the tick just taken was quiet
+        // on every SM, leap straight to the next-event horizon. Runs
+        // after the progress update (so the livelock deadline below is
+        // final for this quiet spell) and before the livelock and
+        // invariant checks (both horizon-pinned, so they observe the
+        // same cycles as a per-cycle run).
+        maybeFastForward(ff_eligible, events_pending);
+
+        // Livelock check in unconditional form: after a progress update
+        // now_ == lastProgress_, so with livelockCycles != 0 this is
+        // exactly the old else-branch; after a livelock-bounded leap it
+        // trips at the identical cycle the per-cycle run would.
+        if (config_.livelockCycles &&
+            now_ - lastProgress_ >= config_.livelockCycles) {
             std::string dump;
             for (const auto &sm : sms_)
                 dump += sm->dumpState();
@@ -231,6 +258,73 @@ Gpu::runLoop(GpuResult &result)
             }
         }
     }
+}
+
+bool
+Gpu::fastForwardEligible() const
+{
+    // A fault hook may mutate state at any cycle; the race sanitizer
+    // hooks observe per-access interleavings; a trace sink consuming
+    // the per-cycle event tier (StallCycle etc., SI_TRACE builds only)
+    // must see every cycle. Any of these pins the run to faithful
+    // per-cycle execution.
+    return config_.fastForward && !config_.faultHook &&
+           !config_.raceHooks &&
+           !(SI_TRACE_ENABLED && config_.traceSink &&
+             config_.traceSink->wantsPerCycleEvents());
+}
+
+void
+Gpu::maybeFastForward(bool eligible, bool events_pending)
+{
+    if (!eligible)
+        return;
+
+    // Every SM must have just taken a quiet tick (nothing issued, no
+    // state-changing work) for the machine's state to be a pure
+    // function of the clock until the earliest wakeup/event. The
+    // horizon is the min over those per-SM next-event cycles.
+    Cycle horizon = invalidCycle;
+    for (const auto &sm : sms_) {
+        if (!sm->lastTickQuiet())
+            return;
+        horizon = std::min(horizon, sm->nextEventAt());
+    }
+
+    // Clamp to every cycle the loop itself must observe: the watchdog
+    // cap, the livelock deadline (only binding when no writeback is in
+    // flight), and each hook/sampler boundary. nextBoundary() returns
+    // now_ when now_ is already a boundary, which yields h == now_ and
+    // no leap — the hook then fires normally on the next iteration.
+    Cycle h = std::min(horizon, config_.maxCycles);
+    if (!events_pending && config_.livelockCycles)
+        h = std::min(h, lastProgress_ + config_.livelockCycles);
+    if (config_.checkpointHook && config_.checkpointInterval)
+        h = std::min(h, nextBoundary(now_, config_.checkpointInterval));
+    if (config_.metricsSampler)
+        h = std::min(h, config_.metricsSampler->horizonPin(now_));
+    if (config_.cancelHook && config_.cancelCheckInterval)
+        h = std::min(h, nextBoundary(now_, config_.cancelCheckInterval));
+    if (config_.checkInvariants && config_.invariantCheckInterval)
+        h = std::min(h,
+                     nextBoundary(now_, config_.invariantCheckInterval));
+    if (h == invalidCycle || h <= now_)
+        return;
+
+    const std::uint64_t n = h - now_;
+    for (auto &sm : sms_)
+        sm->applyQuietCycles(n);
+    now_ = h;
+
+    // With a writeback in flight every skipped iteration would have
+    // taken the progress branch; replicate its final effect. (Without
+    // one, lastProgress_ stays put — exactly as per-cycle execution
+    // would leave it.)
+    if (events_pending)
+        lastProgress_ = now_;
+
+    ++ffLeaps_;
+    ffSkipped_ += n;
 }
 
 void

@@ -134,6 +134,23 @@ class Gpu
     /** Cycle the run loop is at (checkpoint naming, diagnostics). */
     Cycle currentCycle() const { return now_; }
 
+    /**
+     * Fast-forward diagnostics: leaps taken and cycles skipped by the
+     * event-driven cycle-leap engine this run (0 in faithful mode).
+     * Wall-clock instrumentation only — never serialized and never
+     * part of statistics, so fast-forwarded and per-cycle runs stay
+     * byte-identical everywhere that matters.
+     */
+    std::uint64_t fastForwardLeaps() const { return ffLeaps_; }
+    std::uint64_t fastForwardCyclesSkipped() const { return ffSkipped_; }
+
+    /**
+     * True when this run may leap: the knob is on and no per-cycle
+     * observer (fault hook, race sanitizer, or — in SI_TRACE builds —
+     * a trace sink consuming the per-cycle event tier) is attached.
+     */
+    bool fastForwardEligible() const;
+
     /** Access an SM (tests; const form for mid-run samplers). */
     Sm &sm(unsigned i) { return *sms_[i]; }
     const Sm &sm(unsigned i) const { return *sms_[i]; }
@@ -161,11 +178,25 @@ class Gpu
     /** The active launch (programs not owned); save() fingerprints it. */
     std::vector<KernelLaunch> kernels_;
 
+    /**
+     * Cycle-leap step: with every SM quiet after the tick at now_ - 1,
+     * compute the next-event horizon (min over per-SM wakeups/events,
+     * the watchdog deadlines, and every hook/sampler boundary) and
+     * advance now_ to it in one step, bulk-applying per-cycle
+     * accounting via Sm::applyQuietCycles. @p events_pending is the
+     * loop's hasPendingWritebacks() disjunction for this iteration.
+     */
+    void maybeFastForward(bool eligible, bool events_pending);
+
     // Run-loop state, members so a checkpoint can capture and a resume
     // re-enter the loop mid-run (see runLoop()).
     Cycle now_ = 0;
     std::uint64_t lastIssued_ = 0;
     Cycle lastProgress_ = 0;
+
+    // Fast-forward diagnostics (not serialized; see fastForwardLeaps).
+    std::uint64_t ffLeaps_ = 0;
+    std::uint64_t ffSkipped_ = 0;
 };
 
 /**

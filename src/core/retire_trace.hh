@@ -61,6 +61,12 @@ class RetireTraceCollector : public TraceSink
             warp[lane].push_back({ev.pc, exec.test(lane)});
     }
 
+    /**
+     * Issue events are always-on-tier; a quiet (leapable) cycle never
+     * issues, so fast-forwarding cannot change the collected traces.
+     */
+    bool wantsPerCycleEvents() const override { return false; }
+
     const std::map<unsigned, WarpRetireTrace> &traces() const
     {
         return traces_;

@@ -347,6 +347,7 @@ Sm::addWarp(std::unique_ptr<Warp> warp)
     warps_.push_back(std::move(warp));
     pendingAdmission_.push_back(unsigned(warps_.size() - 1));
     statusScratch_.resize(warps_.size(), WarpStatus::Done);
+    wakeScratch_.resize(warps_.size(), invalidCycle);
 }
 
 bool
@@ -367,6 +368,7 @@ Sm::drainWritebacks(Cycle now)
     while (!events_.empty() && events_.begin()->first <= now) {
         const Writeback wb = events_.begin()->second;
         events_.erase(events_.begin());
+        tickDirty_ = true;
         Warp &w = *warps_[wb.warpIdx];
         w.scoreboards().decr(wb.mask, wb.sb);
         SI_TRACE_EVENT(config_.traceSink, [&] {
@@ -384,20 +386,26 @@ Sm::drainWritebacks(Cycle now)
 void
 Sm::admitWarps()
 {
-    for (unsigned p = 0; p < pbs_.size(); ++p) {
-        auto &resident = pbs_[p].resident;
-        for (auto it = resident.begin(); it != resident.end();) {
-            if (warps_[*it]->done()) {
-                ++stats_.warpsRetired;
-                if (pbs_[p].gtoCurrent == int(*it))
-                    pbs_[p].gtoCurrent = -1;
-                pbs_[p].regsInUse -=
-                    warps_[*it]->program().numRegs() * warpSize;
-                it = resident.erase(it);
-            } else {
-                ++it;
+    for (auto &pb : pbs_) {
+        auto &resident = pb.resident;
+        // Single-pass stable compaction: each retired warp is swept in
+        // O(1) instead of the former erase-in-loop's O(n) shift, and
+        // the survivors keep their relative order, so the GTO/LRR scans
+        // (which walk resident order / positions) pick identical warps.
+        std::size_t out = 0;
+        for (std::size_t i = 0; i < resident.size(); ++i) {
+            const unsigned wi = resident[i];
+            if (!warps_[wi]->done()) {
+                resident[out++] = wi;
+                continue;
             }
+            tickDirty_ = true;
+            ++stats_.warpsRetired;
+            if (pb.gtoCurrent == int(wi))
+                pb.gtoCurrent = -1;
+            pb.regsInUse -= warps_[wi]->program().numRegs() * warpSize;
         }
+        resident.resize(out);
     }
     // Admission into the least-loaded processing block that has both a
     // free warp slot and register-file headroom for this warp. In-order
@@ -418,6 +426,7 @@ Sm::admitWarps()
         }
         if (!best)
             break;
+        tickDirty_ = true;
         pendingAdmission_.pop_front();
         warps_[wi]->setPb(unsigned(best - pbs_.data()));
         best->resident.push_back(wi);
@@ -429,13 +438,20 @@ WarpStatus
 Sm::evalWarp(unsigned warp_idx, Cycle now)
 {
     Warp &w = *warps_[warp_idx];
+    // Status-expiry scratch for the fast-forward horizon: overwritten
+    // below on paths whose status ends at a known cycle; statuses that
+    // only a writeback (events_) can change leave it at invalidCycle.
+    wakeScratch_[warp_idx] = invalidCycle;
     if (w.done())
         return WarpStatus::Done;
 
     if (w.activeMask().empty()) {
         if (!w.readySubwarps().empty()) {
-            if (now >= w.issueReadyAt)
+            if (now >= w.issueReadyAt) {
+                tickDirty_ = true;
                 unit_.select(w, now);
+            }
+            wakeScratch_[warp_idx] = w.issueReadyAt;
             return WarpStatus::Busy;
         }
         if (w.lanesInState(ThreadState::Stalled).any())
@@ -451,13 +467,16 @@ Sm::evalWarp(unsigned warp_idx, Cycle now)
             describeWarpState(w));
     }
 
-    if (now < w.issueReadyAt)
+    if (now < w.issueReadyAt) {
+        wakeScratch_[warp_idx] = w.issueReadyAt;
         return w.inFetchStall ? WarpStatus::FetchStall : WarpStatus::Busy;
+    }
 
     // Front end: the instruction at the active PC must sit in the
     // per-warp fetch buffer, fed by L0I -> L1I.
     const std::uint32_t pc = w.activePc();
     if (w.fetchedPc != pc) {
+        tickDirty_ = true;
         const Addr line = w.program().instrAddr(pc);
         ProcessingBlock &pb = pbs_[w.pb()];
         const Cache::AccessResult l0 = pb.l0i.accessEx(line);
@@ -484,6 +503,7 @@ Sm::evalWarp(unsigned warp_idx, Cycle now)
             w.issueReadyAt = now + (l1.hit ? config_.lat.l0iMiss
                                            : config_.lat.l1iMiss);
             w.inFetchStall = true;
+            wakeScratch_[warp_idx] = w.issueReadyAt;
             return WarpStatus::FetchStall;
         }
     }
@@ -505,8 +525,10 @@ Sm::evalWarp(unsigned warp_idx, Cycle now)
     ready_at = std::max(ready_at, w.predReadyAt(in.guard));
     if (in.op == Opcode::SEL)
         ready_at = std::max(ready_at, w.predReadyAt(in.pdst));
-    if (ready_at > now)
+    if (ready_at > now) {
+        wakeScratch_[warp_idx] = ready_at;
         return WarpStatus::PipeStall;
+    }
 
     return WarpStatus::Issuable;
 }
@@ -1068,9 +1090,19 @@ Sm::issue(unsigned warp_idx, Cycle now)
 void
 Sm::tick(Cycle now)
 {
-    if (done())
+    if (done()) {
+        // A finished SM is trivially quiet and can never wake: it must
+        // not hold the other SMs' horizon down with stale scratch.
+        lastTickQuiet_ = true;
+        nextEventAt_ = invalidCycle;
+        ffAnyLive_ = false;
+        ffDeniedDelta_ = 0;
         return;
+    }
     ++stats_.cycles;
+    tickDirty_ = false;
+    const std::uint64_t denied_before =
+        unit_.stats().stallDemotionsDeniedTstFull;
     drainWritebacks(now);
     admitWarps();
 
@@ -1079,6 +1111,7 @@ Sm::tick(Cycle now)
     unsigned mem_stalled_warps = 0;
     unsigned mem_stalled_divergent = 0;
     bool any_fetch_stall = false;
+    Cycle next_wake = invalidCycle;
 
     for (auto &pb : pbs_) {
         unsigned live = 0;
@@ -1095,47 +1128,28 @@ Sm::tick(Cycle now)
             // Warp-cycle partition and subwarp-mode residency (sampled
             // after evalWarp, so a subwarp promoted this cycle counts
             // as active).
-            ++stats_.liveWarpCycles;
-            const ThreadMask active_now = w.activeMask();
-            if (active_now.empty())
-                ++stats_.warpCyclesSubwarpNone;
-            else if (active_now == w.live())
-                ++stats_.warpCyclesSubwarpFull;
-            else
-                ++stats_.warpCyclesSubwarpPartial;
+            accountWarpCycles(w, st, 1);
+            next_wake = std::min(next_wake, wakeScratch_[wi]);
 
             switch (st) {
               case WarpStatus::ScoreboardStall:
               case WarpStatus::WaitWakeup:
                 ++stalled;
-                ++stats_.warpScoreboardStallCycles;
                 ++mem_stalled_warps;
-                if (stallIsDivergent(*warps_[wi], st))
+                if (stallIsDivergent(w, st))
                     ++mem_stalled_divergent;
                 break;
-              case WarpStatus::PipeStall:
-                ++stats_.warpPipeStallCycles;
-                break;
               case WarpStatus::FetchStall:
-                ++stats_.warpFetchStallCycles;
                 any_fetch_stall = true;
-                break;
-              case WarpStatus::Busy:
-                ++stats_.warpSwitchCycles;
                 break;
               default:
                 break;
             }
-            // One per-reason count (and one StallCycle event) per lost
-            // warp-slot, bucketed by the same classification as the
-            // legacy counters above — the profiler and the windowed
+            // One StallCycle event per lost warp-slot, bucketed by the
+            // same classification as the counters in
+            // accountWarpCycles — the profiler and the windowed
             // metrics sampler reconcile the two exactly.
             if (st != WarpStatus::Issuable) {
-                const StallReason reason = classifyStall(w, st);
-                ++stats_.stallCyclesByReason[std::size_t(reason)];
-                RegionCounters &rc = regionAt(w.currentRegion);
-                ++rc.warpCycles;
-                ++rc.stallCyclesByReason[std::size_t(reason)];
                 SI_TRACE_EVENT(config_.traceSink,
                                stallEvent(id_, w, st, now));
             }
@@ -1227,8 +1241,10 @@ Sm::tick(Cycle now)
                     if (w.readySubwarps().empty())
                         continue;
                     const Instr &in = w.program().at(w.activePc());
-                    if (unit_.subwarpStall(w, in.reqSbMask, now))
+                    if (unit_.subwarpStall(w, in.reqSbMask, now)) {
+                        tickDirty_ = true;
                         break;
+                    }
                 }
             }
         }
@@ -1246,6 +1262,110 @@ Sm::tick(Cycle now)
                 double(mem_stalled_divergent) / double(mem_stalled_warps);
         } else if (any_fetch_stall) {
             ++stats_.exposedFetchStallCycles;
+        }
+    }
+
+    // ---- fast-forward classification (see applyQuietCycles) ----
+    // An issuable warp always issues, so issued_total == 0 already
+    // implies no warp was Issuable; tickDirty_ covers every other
+    // mutation site (writeback drain, retire/admit, fetch initiation,
+    // subwarp select, successful stall demotion).
+    lastTickQuiet_ = issued_total == 0 && !tickDirty_;
+    const Cycle next_event =
+        events_.empty() ? invalidCycle : events_.begin()->first;
+    nextEventAt_ = std::min(next_wake, next_event);
+    ffAnyLive_ = any_live;
+    ffMemStalled_ = mem_stalled_warps;
+    ffMemStalledDiv_ = mem_stalled_divergent;
+    ffAnyFetch_ = any_fetch_stall;
+    ffDeniedDelta_ =
+        unit_.stats().stallDemotionsDeniedTstFull - denied_before;
+}
+
+void
+Sm::accountWarpCycles(Warp &w, WarpStatus st, std::uint64_t n)
+{
+    stats_.liveWarpCycles += n;
+    const ThreadMask active_now = w.activeMask();
+    if (active_now.empty())
+        stats_.warpCyclesSubwarpNone += n;
+    else if (active_now == w.live())
+        stats_.warpCyclesSubwarpFull += n;
+    else
+        stats_.warpCyclesSubwarpPartial += n;
+
+    switch (st) {
+      case WarpStatus::ScoreboardStall:
+      case WarpStatus::WaitWakeup:
+        stats_.warpScoreboardStallCycles += n;
+        break;
+      case WarpStatus::PipeStall:
+        stats_.warpPipeStallCycles += n;
+        break;
+      case WarpStatus::FetchStall:
+        stats_.warpFetchStallCycles += n;
+        break;
+      case WarpStatus::Busy:
+        stats_.warpSwitchCycles += n;
+        break;
+      default:
+        break;
+    }
+    // One per-reason count per lost warp-slot, bucketed by the same
+    // classification as the legacy counters above.
+    if (st != WarpStatus::Issuable) {
+        const StallReason reason = classifyStall(w, st);
+        stats_.stallCyclesByReason[std::size_t(reason)] += n;
+        RegionCounters &rc = regionAt(w.currentRegion);
+        rc.warpCycles += n;
+        rc.stallCyclesByReason[std::size_t(reason)] += n;
+    }
+}
+
+void
+Sm::applyQuietCycles(std::uint64_t n)
+{
+    if (n == 0 || done())
+        return;
+    stats_.cycles += n;
+
+    // Statuses are stable over the leap: the caller leaps at most to
+    // nextEventAt(), and every status either expires at its warp's
+    // wakeScratch_ cycle (folded into nextEventAt) or only a writeback
+    // (also folded in) can change it. So the per-warp accounting of
+    // each skipped cycle equals the last real tick's, n times over.
+    for (auto &pb : pbs_) {
+        for (unsigned wi : pb.resident) {
+            const WarpStatus st = statusScratch_[wi];
+            if (st == WarpStatus::Done)
+                continue;
+            accountWarpCycles(*warps_[wi], st, n);
+        }
+    }
+
+    // Denied TST-full demotion attempts repeat identically each quiet
+    // cycle (nothing can free an entry without a writeback).
+    if (ffDeniedDelta_ > 0)
+        unit_.addDeniedDemotions(ffDeniedDelta_ * n);
+
+    // SM-level exposure: a quiet tick by definition issued nothing.
+    if (ffAnyLive_) {
+        stats_.noIssueCycles += n;
+        if (ffMemStalled_ > 0) {
+            stats_.exposedLoadStallCycles += n;
+            if (ffMemStalledDiv_ > 0) {
+                // The per-cycle loop accumulates the divergent fraction
+                // by repeated IEEE754 addition; n * frac rounds
+                // differently, so bit-identity requires repeating the
+                // addition. Leaps are latency-bounded, so this stays
+                // far cheaper than n full ticks.
+                const double frac =
+                    double(ffMemStalledDiv_) / double(ffMemStalled_);
+                for (std::uint64_t i = 0; i < n; ++i)
+                    stats_.exposedLoadStallCyclesDivergent += frac;
+            }
+        } else if (ffAnyFetch_) {
+            stats_.exposedFetchStallCycles += n;
         }
     }
 }
@@ -1467,6 +1587,18 @@ Sm::restore(SnapshotReader &r)
     stats_.restore(r);
 
     statusScratch_.assign(warps_.size(), WarpStatus::Done);
+    wakeScratch_.assign(warps_.size(), invalidCycle);
+
+    // Leap scratch is per-tick and never serialized: a resumed run
+    // re-derives it on its first tick, before any leap is considered.
+    tickDirty_ = false;
+    lastTickQuiet_ = false;
+    nextEventAt_ = invalidCycle;
+    ffAnyLive_ = false;
+    ffMemStalled_ = 0;
+    ffMemStalledDiv_ = 0;
+    ffAnyFetch_ = false;
+    ffDeniedDelta_ = 0;
 }
 
 } // namespace si

@@ -184,6 +184,44 @@ class Sm
     /** Advance one core clock. */
     void tick(Cycle now);
 
+    // ---- event-driven fast-forward (cycle leap) support ----
+
+    /**
+     * True when the last tick() neither issued an instruction nor
+     * mutated any machine state (no writeback drained, no warp retired
+     * or admitted, no fetch initiated, no subwarp selected or demoted).
+     * Re-running such a tick at any cycle before nextEventAt() produces
+     * the exact same per-cycle accounting and changes nothing, which is
+     * what makes the bulk back-fill of applyQuietCycles() exact.
+     */
+    bool lastTickQuiet() const { return lastTickQuiet_; }
+
+    /**
+     * Earliest future cycle at which this SM's state can change: the
+     * head of the writeback completion queue (which also bounds every
+     * scoreboard drain, MSHR fill, and subwarp wakeup) or the earliest
+     * per-warp timer expiry (switch/fetch penalty, short-latency
+     * operand). invalidCycle when nothing is pending. Valid after
+     * tick(); meaningful for leaping only when lastTickQuiet().
+     */
+    Cycle nextEventAt() const { return nextEventAt_; }
+
+    /**
+     * Bulk-apply @p n quiet cycles of accounting in one step: every
+     * counter the per-cycle loop would have bumped (cycles,
+     * liveWarpCycles, subwarp-mode residency, legacy stall buckets,
+     * per-reason and per-region stall cycles, noIssue/exposed-stall
+     * cycles, TST-full denials) advances by exactly n times the last
+     * tick's delta. The divergent-exposure accumulator is a double
+     * that the per-cycle loop grows by repeated addition, so the
+     * back-fill repeats the addition n times rather than adding n*frac
+     * — bit-identical IEEE754 behaviour, not just mathematically equal.
+     * Callable only while the machine is quiet (the caller leaps at
+     * most to nextEventAt()); no machine state other than statistics
+     * changes.
+     */
+    void applyQuietCycles(std::uint64_t n);
+
     /** Finalize statistics (fold in unit/cache counters). */
     void finalizeStats();
 
@@ -293,6 +331,17 @@ class Sm
     /** True when the stalling subwarp(s) of @p warp are divergent. */
     bool stallIsDivergent(const Warp &warp, WarpStatus status) const;
 
+    /**
+     * Per-warp-cycle accounting shared by tick() (n = 1) and
+     * applyQuietCycles() (n = skipped cycles): liveWarpCycles, the
+     * subwarp-mode residency bucket, the legacy per-status counter,
+     * and — for non-issuable warps — the per-reason and per-region
+     * stall attribution. One code path for both so the per-cycle and
+     * fast-forward accountings cannot drift.
+     */
+    void accountWarpCycles(Warp &warp, WarpStatus status,
+                           std::uint64_t n);
+
     /** Per-region counter slot for @p idx, growing the table on demand. */
     RegionCounters &regionAt(std::uint32_t idx);
 
@@ -317,6 +366,26 @@ class Sm
 
     /** Per-cycle scratch: status of each resident warp. */
     std::vector<WarpStatus> statusScratch_;
+
+    /**
+     * Per-cycle scratch: the cycle each warp's status expires on its
+     * own (issueReadyAt for Busy/FetchStall, the operand ready_at for
+     * PipeStall; invalidCycle for statuses that only a writeback can
+     * change). Written by evalWarp, folded into nextEventAt_ by tick.
+     */
+    std::vector<Cycle> wakeScratch_;
+
+    // ---- fast-forward tick classification (per-tick scratch; none of
+    // this is serialized — a restored SM re-derives it on its first
+    // tick, and leaps never span a checkpoint boundary) ----
+    bool tickDirty_ = false;      ///< tick mutated state (set by sites)
+    bool lastTickQuiet_ = false;
+    Cycle nextEventAt_ = invalidCycle;
+    bool ffAnyLive_ = false;      ///< last tick's any_live
+    unsigned ffMemStalled_ = 0;   ///< last tick's mem_stalled_warps
+    unsigned ffMemStalledDiv_ = 0;///< last tick's mem_stalled_divergent
+    bool ffAnyFetch_ = false;     ///< last tick's any_fetch_stall
+    std::uint64_t ffDeniedDelta_ = 0; ///< TST-full denials in last tick
 
     SmStats stats_;
 };

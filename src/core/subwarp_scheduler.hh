@@ -112,6 +112,19 @@ class SubwarpUnit
 
     const SubwarpUnitStats &stats() const { return stats_; }
 
+    /**
+     * Fast-forward back-fill: credit @p n TST-full demotion denials
+     * without re-running the denied subwarpStall() attempts. During a
+     * quiet cycle every denied attempt repeats identically (the TST
+     * cannot drain without a writeback), so the leap engine replays the
+     * per-tick denial delta as an exact multiple (see Sm::
+     * applyQuietCycles).
+     */
+    void addDeniedDemotions(std::uint64_t n)
+    {
+        stats_.stallDemotionsDeniedTstFull += n;
+    }
+
     /** Serialize the RNG stream position and the stat counters. */
     void
     save(SnapshotWriter &w) const

@@ -34,13 +34,24 @@ Memory::fill(Addr base, const std::vector<std::uint32_t> &values)
 bool
 Memory::firstDifference(const Memory &other, Addr &addr_out) const
 {
+    // Hash-map page order is arbitrary, but tracking the minimum makes
+    // the answer deterministic regardless of iteration order. Scanning
+    // both images covers words present on only one side (the other
+    // side reads them as zero).
     bool found = false;
     Addr lowest = 0;
     auto scan = [&](const Memory &a, const Memory &b) {
-        for (const auto &[addr, value] : a.words_) {
-            if (b.read(addr) != value && (!found || addr < lowest)) {
-                found = true;
-                lowest = addr;
+        for (const auto &[page_idx, page] : a.pages_) {
+            for (std::size_t off = 0; off < pageWords; ++off) {
+                if (!page.present[off])
+                    continue;
+                const Addr addr =
+                    ((page_idx << pageWordsLog2) | Addr(off)) << 2;
+                if (b.read(addr) != page.data[off] &&
+                    (!found || addr < lowest)) {
+                    found = true;
+                    lowest = addr;
+                }
             }
         }
     };
@@ -54,7 +65,9 @@ Memory::firstDifference(const Memory &other, Addr &addr_out) const
 void
 Memory::clear()
 {
-    words_.clear();
+    pages_.clear();
+    liveWords_ = 0;
+    cachedPage_ = nullptr;
     constants_.clear();
 }
 
@@ -63,16 +76,24 @@ Memory::save(SnapshotWriter &w) const
 {
     w.tag(SnapTag::Memory);
 
-    std::vector<Addr> addrs;
-    addrs.reserve(words_.size());
-    for (const auto &[addr, value] : words_)
-        addrs.push_back(addr);
-    std::sort(addrs.begin(), addrs.end());
+    // Words go out in ascending address order — sorted page indices,
+    // then ascending offsets within each page — exactly the order the
+    // old per-word map emitted, so the format is unchanged.
+    std::vector<Addr> page_idxs;
+    page_idxs.reserve(pages_.size());
+    for (const auto &[page_idx, page] : pages_)
+        page_idxs.push_back(page_idx);
+    std::sort(page_idxs.begin(), page_idxs.end());
 
-    w.u64(addrs.size());
-    for (Addr addr : addrs) {
-        w.u64(addr);
-        w.u32(words_.at(addr));
+    w.u64(liveWords_);
+    for (Addr page_idx : page_idxs) {
+        const Page &page = pages_.at(page_idx);
+        for (std::size_t off = 0; off < pageWords; ++off) {
+            if (!page.present[off])
+                continue;
+            w.u64(((page_idx << pageWordsLog2) | Addr(off)) << 2);
+            w.u32(page.data[off]);
+        }
     }
 
     w.u64(constants_.size());
@@ -87,10 +108,9 @@ Memory::restore(SnapshotReader &r)
     clear();
 
     const std::uint64_t num_words = r.u64();
-    words_.reserve(num_words);
     for (std::uint64_t i = 0; i < num_words; ++i) {
         const Addr addr = r.u64();
-        words_[addr] = r.u32();
+        write(addr, r.u32());
     }
 
     const std::uint64_t num_consts = r.u64();

@@ -4,11 +4,24 @@
  * values, plus a small constant bank for LDC. Timing is handled elsewhere
  * (L1D cache + the paper's fixed-latency stub); this class only answers
  * "what value lives at this address".
+ *
+ * Storage is paged: the sparse word space is carved into fixed-size
+ * flat pages (pageWords words each) kept in a hash map keyed by page
+ * index, with a one-entry last-page pointer cache in front. Warp-wide
+ * accesses are heavily page-local, so the common case is one compare
+ * plus an array index instead of a per-word hash probe. A per-page
+ * occupancy bitmap preserves the sparse semantics exactly: written
+ * words (zeros included) are "present", everything else reads as zero,
+ * and footprintWords()/save() count and emit only present words — so
+ * the snapshot format and every determinism contract are unchanged
+ * from the per-word-hash-map implementation this replaced.
  */
 
 #ifndef SI_MEM_MEMORY_HH
 #define SI_MEM_MEMORY_HH
 
+#include <array>
+#include <bitset>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -39,19 +52,66 @@ texelAddress(std::uint32_t u, std::uint32_t v)
 class Memory
 {
   public:
+    Memory() = default;
+
+    // The last-page cache points into this object's own page map, so
+    // copies and moves must drop it rather than inherit a pointer into
+    // the source object.
+    Memory(const Memory &other)
+        : pages_(other.pages_), liveWords_(other.liveWords_),
+          constants_(other.constants_)
+    {
+    }
+
+    Memory &
+    operator=(const Memory &other)
+    {
+        pages_ = other.pages_;
+        liveWords_ = other.liveWords_;
+        constants_ = other.constants_;
+        cachedPage_ = nullptr;
+        return *this;
+    }
+
+    Memory(Memory &&other) noexcept
+        : pages_(std::move(other.pages_)), liveWords_(other.liveWords_),
+          constants_(std::move(other.constants_))
+    {
+        other.cachedPage_ = nullptr;
+        other.liveWords_ = 0;
+    }
+
+    Memory &
+    operator=(Memory &&other) noexcept
+    {
+        pages_ = std::move(other.pages_);
+        liveWords_ = other.liveWords_;
+        constants_ = std::move(other.constants_);
+        cachedPage_ = nullptr;
+        other.cachedPage_ = nullptr;
+        other.liveWords_ = 0;
+        return *this;
+    }
+
     /** Read a 32-bit word at byte address @p addr (4-byte aligned). */
     std::uint32_t
     read(Addr addr) const
     {
-        auto it = words_.find(addr & ~Addr(3));
-        return it == words_.end() ? 0u : it->second;
+        const Addr word = (addr & ~Addr(3)) >> 2;
+        const Page *page = findPage(word >> pageWordsLog2);
+        return page ? page->data[word & (pageWords - 1)] : 0u;
     }
 
     /** Write a 32-bit word. */
     void
     write(Addr addr, std::uint32_t value)
     {
-        words_[addr & ~Addr(3)] = value;
+        const Addr word = (addr & ~Addr(3)) >> 2;
+        Page &page = getPage(word >> pageWordsLog2);
+        const std::size_t off = word & (pageWords - 1);
+        liveWords_ += !page.present[off];
+        page.present[off] = true;
+        page.data[off] = value;
     }
 
     /** Write a float. */
@@ -63,14 +123,8 @@ class Memory
     /** Bulk initialization helper: pour an int vector at @p base. */
     void fill(Addr base, const std::vector<std::uint32_t> &values);
 
-    std::size_t footprintWords() const { return words_.size(); }
-
-    /** Raw word map, for whole-image diffing (the differential oracle). */
-    const std::unordered_map<Addr, std::uint32_t> &
-    words() const
-    {
-        return words_;
-    }
+    /** Number of words ever written (zeros count; rewrites do not). */
+    std::size_t footprintWords() const { return liveWords_; }
 
     /**
      * First address (lowest) whose word differs from @p other, treating
@@ -114,7 +168,57 @@ class Memory
     }
 
   private:
-    std::unordered_map<Addr, std::uint32_t> words_;
+    /** log2 of the page size in words: 1024 words = 4 KiB pages. */
+    static constexpr unsigned pageWordsLog2 = 10;
+    static constexpr std::size_t pageWords = 1u << pageWordsLog2;
+
+    /** One flat page plus its written-word occupancy bitmap. */
+    struct Page
+    {
+        std::array<std::uint32_t, pageWords> data{};
+        std::bitset<pageWords> present;
+    };
+
+    /**
+     * Cache-then-probe page lookup, nullptr when the page was never
+     * written. Const reads refresh the cache too: unordered_map element
+     * references are stable across inserts, so the cached pointer only
+     * dies on clear()/restore()/assignment, which all reset it.
+     */
+    const Page *
+    findPage(Addr page_idx) const
+    {
+        if (cachedPage_ && cachedIdx_ == page_idx)
+            return cachedPage_;
+        auto it = pages_.find(page_idx);
+        if (it == pages_.end())
+            return nullptr;
+        cachedIdx_ = page_idx;
+        cachedPage_ = &it->second;
+        return cachedPage_;
+    }
+
+    /** Page lookup for writes; creates the (zeroed) page on demand. */
+    Page &
+    getPage(Addr page_idx)
+    {
+        if (cachedPage_ && cachedIdx_ == page_idx)
+            return *const_cast<Page *>(cachedPage_);
+        Page &page = pages_[page_idx];
+        cachedIdx_ = page_idx;
+        cachedPage_ = &page;
+        return page;
+    }
+
+    std::unordered_map<Addr, Page> pages_;
+    std::size_t liveWords_ = 0;
+
+    // Last-page pointer cache. Mutable so const reads stay fast; no
+    // in-tree path reads one Memory image from two threads at once
+    // (parallel harnesses copy the image per run/cell first).
+    mutable Addr cachedIdx_ = 0;
+    mutable const Page *cachedPage_ = nullptr;
+
     std::vector<std::uint32_t> constants_;
 };
 

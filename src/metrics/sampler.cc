@@ -123,6 +123,17 @@ MetricsSampler::sampleAll(const Gpu &gpu, Cycle now)
     lastSampleCycle_ = now;
 }
 
+Cycle
+MetricsSampler::horizonPin(Cycle now) const
+{
+    // onCycle() acts only when now is a nonzero interval multiple (the
+    // resume guard can only suppress, never add, a sample), so the next
+    // multiple at or after now is the only cycle the leap must not skip.
+    if (interval_ == 0)
+        return invalidCycle;
+    return (now + interval_ - 1) / interval_ * interval_;
+}
+
 void
 MetricsSampler::onCycle(const Gpu &gpu, Cycle now)
 {

@@ -64,6 +64,14 @@ class MetricsSampler : public CycleSampler
     void save(SnapshotWriter &w) const override;
     void restore(SnapshotReader &r) override;
 
+    /**
+     * Window edges are leap barriers: the fast-forward engine may skip
+     * any cycle where onCycle() is a no-op, but must execute the next
+     * interval multiple so the window closes on live state. With
+     * interval 0 (one whole-run window) there is no edge to protect.
+     */
+    Cycle horizonPin(Cycle now) const override;
+
     Cycle interval() const { return interval_; }
     unsigned numSms() const { return unsigned(sms_.size()); }
     unsigned warpSlotsPerSm() const { return warpSlotsPerSm_; }

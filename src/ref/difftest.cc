@@ -137,6 +137,7 @@ raceCheckProgram(const Program &program, const DiffOptions &opts)
     for (const DiffPoint &pt : diffMatrix()) {
         Memory mem = makeInputImage(opts.imageSeed);
         GpuConfig cfg = pt.config;
+        cfg.fastForward = opts.fastForward;
         RaceDetector det;
         cfg.raceHooks = &det;
 
@@ -185,6 +186,7 @@ diffProgram(const Program &program, const DiffOptions &opts)
     for (const DiffPoint &pt : diffMatrix()) {
         Memory mem = makeInputImage(opts.imageSeed);
         GpuConfig cfg = pt.config;
+        cfg.fastForward = opts.fastForward;
         RetireTraceCollector col;
         cfg.traceSink = &col;
 

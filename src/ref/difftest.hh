@@ -52,6 +52,14 @@ struct DiffOptions
     bool inject = false;
     FaultKind injectKind = FaultKind::BarrierMaskCorruption;
     std::uint64_t injectSeed = 1;
+
+    /**
+     * Run the cycle model with the event-driven fast-forward engine
+     * (core/gpu.hh). Architecturally invisible by contract — flipping
+     * this must never change any comparison; the off setting exists so
+     * the harness itself can cross-validate that contract.
+     */
+    bool fastForward = true;
 };
 
 /** Outcome of one differential comparison. */

@@ -141,6 +141,18 @@ class TraceSink
   public:
     virtual ~TraceSink() = default;
     virtual void record(const TraceEvent &event) = 0;
+
+    /**
+     * True when this sink consumes the compile-gated per-cycle tier
+     * (StallCycle, TstFull, ...). In SI_TRACE builds such a sink pins
+     * the fast-forward engine to per-cycle ("faithful") execution so
+     * its event stream is unchanged; a sink that only reads the
+     * always-on tier (e.g. RetireTraceCollector) overrides this to
+     * return false — quiet cycles emit no always-on events, so leaping
+     * over them cannot drop anything it would see. Conservative default:
+     * pin.
+     */
+    virtual bool wantsPerCycleEvents() const { return true; }
 };
 
 #ifndef SI_TRACE_ENABLED

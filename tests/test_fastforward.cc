@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Event-driven fast-forward equivalence suite. The cycle-leap engine
+ * (core/gpu.cc) promises to be invisible everywhere except wall-clock:
+ * every statistic, metrics window, snapshot, and retirement trace must
+ * be bit-identical between a fast-forwarded run and a faithful
+ * per-cycle run. These tests enforce that contract directly — across
+ * generated kernels on the full difftest matrix, on a memory-latency-
+ * dominated kernel that leaps through >90% of its cycles, through
+ * windowed metrics, and across checkpoints taken mid-quiet-stretch —
+ * and pin down the faithful-mode guards (fault hook, race sanitizer,
+ * per-cycle trace sinks disable leaping; the always-on-tier retirement
+ * collector does not).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/retire_trace.hh"
+#include "fault/injector.hh"
+#include "harness/report.hh"
+#include "isa/assembler.hh"
+#include "metrics/sampler.hh"
+#include "race/detector.hh"
+#include "ref/difftest.hh"
+#include "ref/kernelgen.hh"
+#include "snapshot/snapshot.hh"
+#include "trace/sinks.hh"
+
+using namespace si;
+
+namespace {
+
+/** The memory-latency-dominated load chain (kernels/memlat.sasm). */
+const char *memlatSource = R"(
+.kernel memlat
+.regs 16
+    S2R R0, TID
+    SHL R1, R0, 12
+    MOV R2, 0x20000000
+    IADD R1, R1, R2
+    MOV R10, 0.0
+    MOV R3, 16
+loop:
+    LDG R4, [R1+0] &wr=sb0
+    FADD R10, R10, R4 &req=sb0
+    IADD R1, R1, 512
+    IADD R3, R3, -1
+    ISETP.GT P0, R3, 0
+    @P0 BRA loop
+    EXIT
+)";
+
+GpuConfig
+memlatConfig()
+{
+    GpuConfig cfg;
+    cfg.numSms = 1;
+    cfg.lat.l1Miss = 2000;
+    return cfg;
+}
+
+/** Everything one run produces that the contract covers. */
+struct RunArtifacts
+{
+    GpuResult result;
+    Memory mem;
+    std::map<unsigned, WarpRetireTrace> traces;
+    std::string statsJson;
+    std::uint64_t leaps = 0;
+    std::uint64_t skipped = 0;
+};
+
+RunArtifacts
+runOnce(const Program &prog, GpuConfig cfg, bool fast_forward,
+        unsigned warps = 16)
+{
+    RunArtifacts a;
+    cfg.fastForward = fast_forward;
+    a.mem = makeInputImage(99);
+    RetireTraceCollector col;
+    cfg.traceSink = &col;
+    Gpu gpu(cfg, a.mem);
+    a.result = gpu.run(prog, LaunchParams{warps, 4});
+    a.traces = col.traces();
+    a.statsJson = statsJson(a.result, prog.name(), {});
+    a.leaps = gpu.fastForwardLeaps();
+    a.skipped = gpu.fastForwardCyclesSkipped();
+    return a;
+}
+
+/** Assert two runs are indistinguishable in every observable. */
+void
+expectIdentical(const RunArtifacts &on, const RunArtifacts &off,
+                const std::string &label)
+{
+    EXPECT_EQ(on.result.ok(), off.result.ok()) << label;
+    EXPECT_EQ(on.result.cycles, off.result.cycles) << label;
+    EXPECT_EQ(on.statsJson, off.statsJson) << label;
+    Addr diff_addr = 0;
+    EXPECT_FALSE(on.mem.firstDifference(off.mem, diff_addr))
+        << label << ": memory differs at 0x" << std::hex << diff_addr;
+    EXPECT_EQ(on.traces, off.traces) << label;
+}
+
+} // namespace
+
+TEST(FastForward, GeneratedKernelsBitIdenticalAcrossTheMatrix)
+{
+    // CI re-runs this contract at 256 seeds via the difftest
+    // --fast-forward=off sweep (ci.sh check_fastforward); this is the
+    // in-tree smoke version. The matrix covers SI on/off x {2,4,8}
+    // warp slots.
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+        const Program prog = generateKernel(seed);
+        for (const DiffPoint &pt : diffMatrix()) {
+            const RunArtifacts on = runOnce(prog, pt.config, true);
+            const RunArtifacts off = runOnce(prog, pt.config, false);
+            expectIdentical(on, off,
+                            "seed " + std::to_string(seed) + " @ " +
+                                pt.name);
+            EXPECT_EQ(off.leaps, 0u);
+        }
+    }
+}
+
+TEST(FastForward, HighLatencyRunLeapsAndStaysBitIdentical)
+{
+    const Program prog = assembleOrDie(memlatSource);
+    const RunArtifacts on = runOnce(prog, memlatConfig(), true, 8);
+    const RunArtifacts off = runOnce(prog, memlatConfig(), false, 8);
+    expectIdentical(on, off, "memlat");
+
+    // The engine must actually engage: a load chain at a 2000-cycle
+    // miss latency is quiet almost everywhere.
+    EXPECT_GT(on.leaps, 0u);
+    EXPECT_GT(on.skipped, on.result.cycles / 2)
+        << "leaps: " << on.leaps;
+    EXPECT_EQ(off.leaps, 0u);
+    EXPECT_EQ(off.skipped, 0u);
+}
+
+TEST(FastForward, BackFillPreservesTheWarpCyclePartition)
+{
+    // The zero-residual identity every profdiff rests on:
+    //   liveWarpCycles == instrsIssued + arbLossCycles + sum(stalls)
+    // must survive closed-form back-fill.
+    const Program prog = assembleOrDie(memlatSource);
+    const RunArtifacts on = runOnce(prog, memlatConfig(), true, 8);
+    for (const SmStats &s : on.result.perSm) {
+        std::uint64_t stalls = 0;
+        for (std::uint64_t c : s.stallCyclesByReason)
+            stalls += c;
+        EXPECT_EQ(s.liveWarpCycles,
+                  s.instrsIssued + s.arbLossCycles + stalls);
+    }
+}
+
+TEST(FastForward, MetricsWindowSeriesBitIdentical)
+{
+    // Window edges are horizon pins: the sampler must observe the same
+    // cycles, in the same order, with the same deltas, in both modes.
+    const Program prog = assembleOrDie(memlatSource);
+    std::string json_by_mode[2];
+    std::uint64_t leaps_on = 0;
+    for (bool ff : {true, false}) {
+        GpuConfig cfg = memlatConfig();
+        cfg.fastForward = ff;
+        MetricsSampler sampler(64, 4096);
+        cfg.metricsSampler = &sampler;
+        Memory mem = makeInputImage(99);
+        Gpu gpu(cfg, mem);
+        const GpuResult r = gpu.run(prog, LaunchParams{8, 4});
+        ASSERT_TRUE(r.ok());
+        json_by_mode[ff ? 0 : 1] = metricsJson(sampler, "memlat", {});
+        if (ff)
+            leaps_on = gpu.fastForwardLeaps();
+    }
+    EXPECT_EQ(json_by_mode[0], json_by_mode[1]);
+    // Pinning to window edges must not kill leaping between them.
+    EXPECT_GT(leaps_on, 0u);
+}
+
+TEST(FastForward, CheckpointsAreByteIdenticalAcrossModes)
+{
+    // Checkpoint boundaries are leap barriers: every snapshot a
+    // fast-forwarded run writes must be byte-identical to the one the
+    // faithful run writes at the same cycle — even when the boundary
+    // falls mid-quiet-stretch, as interval 100 guarantees at a
+    // 2000-cycle miss latency.
+    const Program prog = assembleOrDie(memlatSource);
+    std::map<Cycle, std::string> snaps_by_mode[2];
+    std::string final_stats[2];
+    for (bool ff : {true, false}) {
+        GpuConfig cfg = memlatConfig();
+        cfg.fastForward = ff;
+        cfg.checkpointInterval = 100;
+        std::map<Cycle, std::string> &snaps =
+            snaps_by_mode[ff ? 0 : 1];
+        cfg.checkpointHook = [&snaps](const Gpu &gpu, Cycle now) {
+            SnapshotWriter w;
+            gpu.save(w);
+            snaps[now] = w.finish();
+        };
+        Memory mem = makeInputImage(99);
+        Gpu gpu(cfg, mem);
+        const GpuResult r = gpu.run(prog, LaunchParams{8, 4});
+        ASSERT_TRUE(r.ok());
+        final_stats[ff ? 0 : 1] = statsJson(r, prog.name(), {});
+    }
+    ASSERT_FALSE(snaps_by_mode[0].empty());
+    EXPECT_EQ(snaps_by_mode[0].size(), snaps_by_mode[1].size());
+    EXPECT_EQ(snaps_by_mode[0], snaps_by_mode[1]);
+    EXPECT_EQ(final_stats[0], final_stats[1]);
+}
+
+TEST(FastForward, ResumeFromMidLeapCheckpointIsBitExact)
+{
+    // Freeze a fast-forwarded run mid-quiet-stretch, thaw it in both
+    // modes, and require the continuation to land exactly where the
+    // uninterrupted run did.
+    const Program prog = assembleOrDie(memlatSource);
+    const RunArtifacts whole = runOnce(prog, memlatConfig(), true, 8);
+
+    std::map<Cycle, std::string> snaps;
+    GpuConfig cfg = memlatConfig();
+    cfg.checkpointInterval = 300;
+    cfg.checkpointHook = [&snaps](const Gpu &gpu, Cycle now) {
+        SnapshotWriter w;
+        gpu.save(w);
+        snaps[now] = w.finish();
+    };
+    {
+        Memory mem = makeInputImage(99);
+        Gpu gpu(cfg, mem);
+        ASSERT_TRUE(gpu.run(prog, LaunchParams{8, 4}).ok());
+    }
+    ASSERT_GE(snaps.size(), 2u);
+    const std::string &container = snaps.rbegin()->second;
+
+    for (bool ff : {true, false}) {
+        GpuConfig resume_cfg = memlatConfig();
+        resume_cfg.fastForward = ff;
+        Memory mem; // restore() overwrites the image wholesale
+        RetireTraceCollector col;
+        resume_cfg.traceSink = &col;
+        Gpu gpu(resume_cfg, mem);
+        SnapshotReader reader(container);
+        const GpuResult r = gpu.resumeMulti(
+            {{&prog, LaunchParams{8, 4}}}, reader);
+        ASSERT_TRUE(r.ok());
+        EXPECT_EQ(r.cycles, whole.result.cycles);
+        Addr diff_addr = 0;
+        EXPECT_FALSE(whole.mem.firstDifference(mem, diff_addr))
+            << "resume(ff=" << ff << ") memory differs at 0x"
+            << std::hex << diff_addr;
+    }
+}
+
+TEST(FastForward, FaultHookAndRaceHooksPinFaithfulMode)
+{
+    const Program prog = assembleOrDie(memlatSource);
+
+    {
+        GpuConfig cfg = memlatConfig();
+        cfg.faultHook = [](Gpu &, Cycle) {};
+        Memory mem = makeInputImage(99);
+        Gpu gpu(cfg, mem);
+        EXPECT_FALSE(gpu.fastForwardEligible());
+        ASSERT_TRUE(gpu.run(prog, LaunchParams{8, 4}).ok());
+        EXPECT_EQ(gpu.fastForwardLeaps(), 0u);
+    }
+    {
+        GpuConfig cfg = memlatConfig();
+        RaceDetector det;
+        cfg.raceHooks = &det;
+        Memory mem = makeInputImage(99);
+        Gpu gpu(cfg, mem);
+        EXPECT_FALSE(gpu.fastForwardEligible());
+        ASSERT_TRUE(gpu.run(prog, LaunchParams{8, 4}).ok());
+        EXPECT_EQ(gpu.fastForwardLeaps(), 0u);
+    }
+    {
+        GpuConfig cfg = memlatConfig();
+        cfg.fastForward = false;
+        Memory mem = makeInputImage(99);
+        Gpu gpu(cfg, mem);
+        EXPECT_FALSE(gpu.fastForwardEligible());
+    }
+}
+
+TEST(FastForward, TraceSinksPinByCapabilityNotByPresence)
+{
+    const Program prog = assembleOrDie(memlatSource);
+
+    // A per-cycle-tier consumer (the default TraceSink capability)
+    // pins faithful mode in SI_TRACE builds; with the tier compiled
+    // out there is nothing to observe and leaping stays legal.
+    {
+        GpuConfig cfg = memlatConfig();
+        RingBufferSink ring(1 << 12);
+        cfg.traceSink = &ring;
+        Memory mem = makeInputImage(99);
+        Gpu gpu(cfg, mem);
+#if SI_TRACE_ENABLED
+        EXPECT_FALSE(gpu.fastForwardEligible());
+        ASSERT_TRUE(gpu.run(prog, LaunchParams{8, 4}).ok());
+        EXPECT_EQ(gpu.fastForwardLeaps(), 0u);
+#else
+        EXPECT_TRUE(gpu.fastForwardEligible());
+#endif
+    }
+
+    // The retirement collector only reads always-on Issue events,
+    // which quiet cycles never emit — it must NOT pin, or the whole
+    // differential oracle would silently run per-cycle.
+    {
+        GpuConfig cfg = memlatConfig();
+        RetireTraceCollector col;
+        cfg.traceSink = &col;
+        Memory mem = makeInputImage(99);
+        Gpu gpu(cfg, mem);
+        EXPECT_TRUE(gpu.fastForwardEligible());
+        ASSERT_TRUE(gpu.run(prog, LaunchParams{8, 4}).ok());
+        EXPECT_GT(gpu.fastForwardLeaps(), 0u);
+    }
+}

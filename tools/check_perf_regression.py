@@ -17,6 +17,10 @@ the benchmark context) and, when the fingerprint differs from the
 baseline's, skips the comparison with a notice instead of failing on
 hardware noise. --strict compares anyway (for a pinned CI fleet).
 
+Debug-built numbers are refused outright, on both sides and under
+--update: the gate requires context/simulator_build_type == "release"
+(stamped by bench/perf_simulator from NDEBUG).
+
 --update rewrites BASELINE.json from CURRENT.json (after a hardware
 change or an accepted perf trade-off) instead of comparing.
 
@@ -32,6 +36,29 @@ import sys
 def fingerprint(doc):
     ctx = doc.get("context", {})
     return (ctx.get("num_cpus"), ctx.get("mhz_per_cpu"))
+
+
+def build_type_error(doc, label):
+    """Non-release numbers are noise: refuse them outright.
+
+    The authoritative field is context/simulator_build_type, stamped by
+    bench/perf_simulator from NDEBUG — i.e. the build type of the
+    simulator code under test. (The stock library_build_type only
+    reports how the google-benchmark library itself was compiled;
+    distro packages ship non-NDEBUG builds, so it reads "debug" even
+    under -DCMAKE_BUILD_TYPE=Release and is deliberately ignored.)
+    Returns an error string for a debug-built or unstamped document,
+    None when it is a release recording."""
+    build = doc.get("context", {}).get("simulator_build_type")
+    if build != "release":
+        return (
+            "perf gate: %s was produced by a '%s' simulator build; "
+            "benchmark numbers are only meaningful from a Release "
+            "build. Rebuild with -DCMAKE_BUILD_TYPE=Release and re-run "
+            "(for the baseline: re-record it with --update)."
+            % (label, build if build is not None else "unstamped")
+        )
+    return None
 
 
 def metrics(doc):
@@ -67,6 +94,16 @@ def main():
     args = ap.parse_args()
 
     if args.update:
+        try:
+            with open(args.current) as f:
+                cur_doc = json.load(f)
+        except (OSError, ValueError) as e:
+            print("perf gate: %s" % e, file=sys.stderr)
+            return 1
+        err = build_type_error(cur_doc, args.current)
+        if err:
+            print(err, file=sys.stderr)
+            return 1
         shutil.copyfile(args.current, args.baseline)
         print("perf gate: baseline %s updated" % args.baseline)
         return 0
@@ -79,6 +116,12 @@ def main():
     except (OSError, ValueError) as e:
         print("perf gate: %s" % e, file=sys.stderr)
         return 1
+
+    for doc, label in ((base_doc, args.baseline), (cur_doc, args.current)):
+        err = build_type_error(doc, label)
+        if err:
+            print(err, file=sys.stderr)
+            return 1
 
     if fingerprint(base_doc) != fingerprint(cur_doc) and not args.strict:
         print(

@@ -46,6 +46,10 @@
  *                      checkpoint, on a baseline and an SI config point;
  *                      any divergence in final memory, registers, stats,
  *                      or retirement traces fails the seed.
+ *   --fast-forward[=off]  run the cycle model with (default) or without
+ *                      the event-driven fast-forward engine. The flag
+ *                      must be invisible to every oracle; CI runs the
+ *                      suite both ways to cross-validate that contract.
  *   --dump             print each generated kernel before testing
  *   --jobs N           test N seeds concurrently (default 1 = serial;
  *                      0 = all cores). Per-seed output is buffered and
@@ -78,7 +82,8 @@ usage()
                  "usage: difftest [--seeds N] [--seed S] [--shrink]\n"
                  "                [--inject scoreboard|dropwb|barrier] "
                  "[--verify] [--snapshot]\n"
-                 "                [--race] [--dump] [--jobs N] [-v]\n");
+                 "                [--race] [--fast-forward[=off]] "
+                 "[--dump] [--jobs N] [-v]\n");
 }
 
 /** printf into a per-seed output buffer (emitted later in seed order). */
@@ -175,6 +180,11 @@ main(int argc, char **argv)
             race = true;
         } else if (arg == "--snapshot") {
             snapshot = true;
+        } else if (arg == "--fast-forward" ||
+                   arg == "--fast-forward=on") {
+            opts.fastForward = true;
+        } else if (arg == "--fast-forward=off") {
+            opts.fastForward = false;
         } else if (arg == "--dump") {
             dump = true;
         } else if (arg == "--jobs") {
@@ -372,8 +382,10 @@ main(int argc, char **argv)
                 };
                 const std::vector<si::KernelLaunch> kernels = {
                     {&prog, {opts.numWarps, opts.warpsPerCta}}};
+                si::GpuConfig snap_cfg = pt.config;
+                snap_cfg.fastForward = opts.fastForward;
                 const si::ReplayCheckResult rep =
-                    si::validateDeterministicReplay(pt.config, kernels,
+                    si::validateDeterministicReplay(snap_cfg, kernels,
                                                     ropts);
                 ++sr.snap_checked;
                 sr.snap_checkpointed += rep.checkpointTaken ? 1 : 0;

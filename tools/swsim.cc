@@ -56,6 +56,15 @@
  *                      manifest is byte-identical to the fork path's
  *                      cell grid at any N (wall budgets classify as
  *                      WallClock instead of ChildTimeout)
+ *   --fast-forward[=off]  event-driven cycle leaping (default on):
+ *                      quiet stretches of the clock loop are skipped in
+ *                      one step with exact stats back-fill; every
+ *                      artifact is bit-identical either way. =off forces
+ *                      faithful per-cycle execution. Auto-pinned to
+ *                      faithful mode by --race, --inject, and (in
+ *                      SI_TRACE builds) --trace/--trace-out
+ *   --ff-report        print fast-forward diagnostics (leaps taken and
+ *                      cycles skipped) after the run
  *   --trace            print the per-issue timeline
  *   --trace-out FILE   record the trace-event stream (bounded ring
  *                      buffer) and write a Chrome trace_event JSON,
@@ -115,7 +124,8 @@ usage()
                  " [--campaign-cells N]\n"
                  "             [--campaign-timeout SEC] "
                  "[--campaign-retries N] [--campaign-inject K]\n"
-                 "             [--campaign-jobs N]\n");
+                 "             [--campaign-jobs N] [--fast-forward[=off]]"
+                 " [--ff-report]\n");
 }
 
 /** --trace: print each issue as it happens. */
@@ -187,6 +197,7 @@ main(int argc, char **argv)
     bool compare = false;
     bool inject = false;
     bool race = false;
+    bool ff_report = false;
     std::string stats_json_path, trace_out_path;
     std::string metrics_out_path, metrics_csv_path;
     unsigned metrics_interval = 0;
@@ -350,6 +361,12 @@ main(int argc, char **argv)
             next_uint(metrics_interval);
         } else if (a == "--metrics-ring") {
             next_uint(metrics_ring);
+        } else if (a == "--fast-forward" || a == "--fast-forward=on") {
+            cfg.fastForward = true;
+        } else if (a == "--fast-forward=off") {
+            cfg.fastForward = false;
+        } else if (a == "--ff-report") {
+            ff_report = true;
         } else if (a == "--trace") {
             trace = true;
         } else if (a == "--trace-out") {
@@ -620,8 +637,9 @@ main(int argc, char **argv)
 
     si::Memory mem;
     si::GpuResult r;
-    if (!resume_path.empty() || checkpoint_every) {
-        // Explicit machine so the run can be frozen and/or thawed.
+    if (!resume_path.empty() || checkpoint_every || ff_report) {
+        // Explicit machine so the run can be frozen and/or thawed (and
+        // so --ff-report can read the leap diagnostics afterwards).
         si::Gpu gpu(cfg, mem);
         const std::vector<si::KernelLaunch> kernels = {
             {&prog, {warps, 4}}};
@@ -641,6 +659,15 @@ main(int argc, char **argv)
         } else {
             r = gpu.runMulti(kernels);
         }
+        if (ff_report)
+            std::printf("fast-forward: %llu leaps, %llu cycles "
+                        "skipped%s\n",
+                        static_cast<unsigned long long>(
+                            gpu.fastForwardLeaps()),
+                        static_cast<unsigned long long>(
+                            gpu.fastForwardCyclesSkipped()),
+                        gpu.fastForwardEligible() ? ""
+                                                  : " (faithful mode)");
     } else {
         r = si::simulate(cfg, mem, prog, {warps, 4});
     }
